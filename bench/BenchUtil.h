@@ -1,0 +1,88 @@
+//===-- bench/BenchUtil.h - Shared harness helpers ------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: a one-call
+/// runner for (analysis, heap) pairs with a wall-clock budget, and table
+/// formatting. Every bench binary runs standalone and prints the rows or
+/// series of the paper artifact it regenerates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_BENCH_BENCHUTIL_H
+#define MAHJONG_BENCH_BENCHUTIL_H
+
+#include "clients/Clients.h"
+#include "core/Mahjong.h"
+#include "workload/BenchmarkPrograms.h"
+
+#include <cstdio>
+#include <string>
+
+namespace mahjong::bench {
+
+/// The per-run time budget standing in for the paper's 5-hour cap; runs
+/// exceeding it are reported as unscalable ("-").
+inline constexpr double DefaultBudgetSeconds = 15.0;
+
+/// One analysis run reduced to the metrics the paper tables report.
+struct RunResult {
+  double Seconds = 0;
+  bool TimedOut = false;
+  clients::ClientResults Clients;
+};
+
+/// Runs (Kind, K) over \p P with \p Heap (null = allocation sites).
+inline RunResult runOne(const ir::Program &P, const ir::ClassHierarchy &CH,
+                        pta::ContextKind Kind, unsigned K,
+                        const pta::HeapAbstraction *Heap,
+                        double Budget = DefaultBudgetSeconds) {
+  pta::AnalysisOptions Opts;
+  Opts.Kind = Kind;
+  Opts.K = K;
+  Opts.Heap = Heap;
+  Opts.TimeBudgetSeconds = Budget;
+  auto R = pta::runPointerAnalysis(P, CH, Opts);
+  RunResult RR;
+  RR.Seconds = R->Stats.Seconds;
+  RR.TimedOut = R->Stats.TimedOut;
+  if (!RR.TimedOut)
+    RR.Clients = clients::evaluateClients(*R);
+  return RR;
+}
+
+/// "12.3" or "-" for unscalable runs (the paper's dash).
+inline std::string fmtTime(const RunResult &R) {
+  if (R.TimedOut)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", R.Seconds);
+  return Buf;
+}
+
+/// A count, or "-" for unscalable runs.
+inline std::string fmtCount(const RunResult &R, uint64_t Value) {
+  return R.TimedOut ? "-" : std::to_string(Value);
+}
+
+/// The analyses of the paper's Table 2, in its order.
+struct AnalysisSpec {
+  const char *Name;
+  pta::ContextKind Kind;
+  unsigned K;
+};
+
+inline const AnalysisSpec Table2Analyses[] = {
+    {"2cs", pta::ContextKind::CallSite, 2},
+    {"2obj", pta::ContextKind::Object, 2},
+    {"3obj", pta::ContextKind::Object, 3},
+    {"2type", pta::ContextKind::Type, 2},
+    {"3type", pta::ContextKind::Type, 3},
+};
+
+} // namespace mahjong::bench
+
+#endif // MAHJONG_BENCH_BENCHUTIL_H

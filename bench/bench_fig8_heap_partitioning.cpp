@@ -1,0 +1,45 @@
+//===-- bench/bench_fig8_heap_partitioning.cpp - Paper Figure 8 --------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's Figure 8: per benchmark, the number of abstract
+// objects under the allocation-site abstraction vs under MAHJONG (the
+// paper reports an average reduction of 62%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace mahjong;
+using namespace mahjong::bench;
+
+int main() {
+  std::printf("== Figure 8 (paper): abstract objects, alloc-site vs "
+              "MAHJONG ==\n\n");
+  std::printf("%-12s %12s %10s %12s\n", "program", "alloc-site", "mahjong",
+              "reduction");
+  double SumReduction = 0;
+  unsigned Count = 0;
+  for (const std::string &Name : workload::benchmarkNames()) {
+    auto P = workload::buildBenchmarkProgram(Name);
+    ir::ClassHierarchy CH(*P);
+    core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+    double Reduction =
+        100.0 * (1.0 - static_cast<double>(MR.numMahjongObjects()) /
+                           MR.numAllocSiteObjects());
+    std::printf("%-12s %12u %10u %11.1f%%\n", Name.c_str(),
+                MR.numAllocSiteObjects(), MR.numMahjongObjects(),
+                Reduction);
+    SumReduction += Reduction;
+    ++Count;
+  }
+  std::printf("%-12s %12s %10s %11.1f%%\n", "average", "", "",
+              SumReduction / Count);
+  std::printf("\nExpected shape: substantial reduction on every program "
+              "(the paper's\naverage is 62%%), smaller on the "
+              "heterogeneous never-scalable programs\n(bloat, eclipse, "
+              "jpc) whose chain-linked elements resist merging.\n");
+  return 0;
+}

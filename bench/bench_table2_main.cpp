@@ -1,0 +1,90 @@
+//===-- bench/bench_table2_main.cpp - Paper Table 2 --------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's main results table (Table 2): for each of the
+// 12 benchmark programs and each of the five context-sensitive analyses
+// (2cs, 2obj, 3obj, 2type, 3type), the baseline kA (allocation sites)
+// versus MAHJONG-based M-kA — analysis time, speedup, #call-graph edges,
+// #poly call sites, #may-fail casts — plus the pre-analysis breakdown of
+// the paper's column 2 (ci / FPG / MAHJONG times).
+//
+// Per paper convention, a run over the budget is unscalable ("-") and the
+// speedup over it is reported as a lower bound; the pre-analysis time is
+// not charged to M-kA (it is reported separately, §6.2.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace mahjong;
+using namespace mahjong::bench;
+
+int main() {
+  std::printf("== Table 2 (paper): baselines vs MAHJONG, 12 programs x 5 "
+              "analyses ==\n");
+  std::printf("(budget per run: %.0fs — the stand-in for the paper's 5-hour "
+              "cap)\n\n",
+              DefaultBudgetSeconds);
+
+  double SpeedupSum = 0;
+  unsigned SpeedupCount = 0, BaseTO = 0, MahjongTO = 0, Rows = 0;
+
+  for (const std::string &Name : workload::benchmarkNames()) {
+    auto P = workload::buildBenchmarkProgram(Name);
+    ir::ClassHierarchy CH(*P);
+    core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+    std::printf("%s: objects=%u mahjong-objects=%u | pre-analysis: "
+                "ci=%.2fs fpg=%.2fs mahjong=%.2fs\n",
+                Name.c_str(), MR.numAllocSiteObjects(),
+                MR.numMahjongObjects(), MR.PreSeconds, MR.FPGSeconds,
+                MR.MahjongSeconds);
+    std::printf("  %-7s | %8s %8s %8s | %9s %9s | %7s %7s | %8s %8s\n",
+                "analysis", "base(s)", "M-(s)", "speedup", "edges",
+                "M-edges", "poly", "M-poly", "mayfail", "M-mayfl");
+    for (const AnalysisSpec &A : Table2Analyses) {
+      RunResult Base = runOne(*P, CH, A.Kind, A.K, nullptr);
+      RunResult Merged = runOne(*P, CH, A.Kind, A.K, MR.Heap.get());
+      ++Rows;
+      BaseTO += Base.TimedOut;
+      MahjongTO += Merged.TimedOut;
+      std::string Speedup = "-";
+      if (!Merged.TimedOut && Merged.Seconds > 0) {
+        char Buf[32];
+        if (Base.TimedOut) {
+          std::snprintf(Buf, sizeof(Buf), ">%.0fx",
+                        DefaultBudgetSeconds / Merged.Seconds);
+        } else {
+          double S = Base.Seconds / Merged.Seconds;
+          std::snprintf(Buf, sizeof(Buf), "%.1fx", S);
+          SpeedupSum += S;
+          ++SpeedupCount;
+        }
+        Speedup = Buf;
+      }
+      std::printf("  %-7s | %8s %8s %8s | %9s %9s | %7s %7s | %8s %8s\n",
+                  A.Name, fmtTime(Base).c_str(), fmtTime(Merged).c_str(),
+                  Speedup.c_str(),
+                  fmtCount(Base, Base.Clients.CallGraphEdges).c_str(),
+                  fmtCount(Merged, Merged.Clients.CallGraphEdges).c_str(),
+                  fmtCount(Base, Base.Clients.PolyCallSites).c_str(),
+                  fmtCount(Merged, Merged.Clients.PolyCallSites).c_str(),
+                  fmtCount(Base, Base.Clients.MayFailCasts).c_str(),
+                  fmtCount(Merged, Merged.Clients.MayFailCasts).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("summary: rows=%u baseline-unscalable=%u "
+              "mahjong-unscalable=%u avg-speedup(both scalable)=%.1fx\n",
+              Rows, BaseTO, MahjongTO,
+              SpeedupCount ? SpeedupSum / SpeedupCount : 0.0);
+  std::printf("\nExpected shapes (paper §6.2): M-kA matches kA's client "
+              "metrics wherever\nboth complete; 3obj is unscalable on the "
+              "mid and large programs while\nM-3obj completes on the mid "
+              "tier; bloat/eclipse/jpc defeat even M-3obj;\nk-type runs "
+              "are cheap for both; speedups grow with program size.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+//===-- examples/devirt_tool.cpp - A devirtualization report tool -------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small command-line tool built on the public API: parses a .mj program
+// (a file path argument, or an embedded demo program when run without
+// arguments), runs a MAHJONG-based 2-object-sensitive points-to analysis,
+// and reports every virtual call site with its resolved targets —
+// flagging the devirtualizable (mono-call) sites and the casts that may
+// fail. This is the "type-dependent client as a user-facing tool" use
+// case the paper motivates.
+//
+// Usage:  devirt_tool [program.mj]
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Clients.h"
+#include "core/Mahjong.h"
+#include "ir/Parser.h"
+#include "ir/PrettyPrinter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace mahjong;
+
+// A small plugin registry: handlers are looked up through an interface
+// map and invoked on events. handler0/handler1 are hot monomorphic
+// sites; the dispatcher loop is genuinely polymorphic.
+static const char *DemoProgram = R"(
+  class Event { field payload: Object; }
+  class Handler {
+    abstract method handle(e);
+  }
+  class LogHandler extends Handler {
+    method handle(e) { p = e.Event::payload; return p; }
+  }
+  class NetHandler extends Handler {
+    method handle(e) { return e; }
+  }
+  class Registry {
+    field slot: Handler;
+    method put(h) { this.slot = h; return this; }
+    method get() { r = this.slot; return r; }
+  }
+  class Main {
+    static method main() {
+      logReg = new Registry;
+      netReg = new Registry;
+      lh = new LogHandler;
+      nh = new NetHandler;
+      logReg.put(lh);
+      netReg.put(nh);
+      e = new Event;
+      h0 = logReg.get();
+      h0.handle(e);            // mono in truth: LogHandler.handle
+      h1 = netReg.get();
+      h1.handle(e);            // mono in truth: NetHandler.handle
+      any = h0;
+      any = h1;
+      any.handle(e);           // genuinely polymorphic
+      c = (LogHandler) h0;     // safe
+      d = (NetHandler) h0;     // fails
+    }
+  }
+)";
+
+int main(int Argc, char **Argv) {
+  std::string Source = DemoProgram;
+  std::string Origin = "<embedded demo>";
+  if (Argc > 1) {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Argv[1]);
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+    Origin = Argv[1];
+  }
+
+  std::string Err;
+  auto P = ir::parseProgram(Source, Err);
+  if (!P) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Origin.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  ir::ClassHierarchy CH(*P);
+  core::MahjongAnalysis MA =
+      core::runMahjongAnalysis(*P, CH, pta::ContextKind::Object, 2);
+  const pta::PTAResult &R = *MA.Result;
+
+  std::printf("== devirtualization report for %s (M-2obj) ==\n\n",
+              Origin.c_str());
+  unsigned Mono = 0, Poly = 0;
+  for (uint32_t I = 0; I < P->numCallSites(); ++I) {
+    CallSiteId Site = CallSiteId(I);
+    const ir::CallSiteInfo &CS = P->callSite(Site);
+    if (CS.Kind != ir::CallKind::Virtual)
+      continue;
+    const std::vector<MethodId> &Targets = R.CG.calleesOf(Site);
+    if (Targets.empty())
+      continue; // unreachable site
+    std::printf("  %s.%s  in %s\n", P->var(CS.Base).Name.c_str(),
+                CS.Sig.c_str(), P->method(CS.Enclosing).Signature.c_str());
+    for (MethodId T : Targets)
+      std::printf("      -> %s\n", P->method(T).Signature.c_str());
+    if (Targets.size() == 1) {
+      std::printf("      DEVIRTUALIZABLE\n");
+      ++Mono;
+    } else {
+      ++Poly;
+    }
+  }
+  std::printf("\n== may-fail casts ==\n\n");
+  unsigned MayFail = 0;
+  for (uint32_t I = 0; I < P->numCastSites(); ++I) {
+    const ir::CastSiteInfo &CS = P->castSite(I);
+    if (!R.ReachableMethod[CS.Enclosing.idx()])
+      continue;
+    bool Fails = clients::castMayFail(R, I);
+    MayFail += Fails;
+    std::printf("  %s = (%s) %s  in %s: %s\n", P->var(CS.To).Name.c_str(),
+                P->type(CS.Target).Name.c_str(),
+                P->var(CS.From).Name.c_str(),
+                P->method(CS.Enclosing).Signature.c_str(),
+                Fails ? "MAY FAIL" : "safe");
+  }
+  std::printf("\nsummary: %u mono-call sites, %u poly-call sites, %u "
+              "may-fail casts\n",
+              Mono, Poly, MayFail);
+  return 0;
+}

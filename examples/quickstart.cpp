@@ -1,0 +1,108 @@
+//===-- examples/quickstart.cpp - Figure 1 end to end -----------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 1 program, built through the textual frontend, then
+// analyzed three ways: with the allocation-site abstraction, with the
+// naive allocation-type abstraction, and with MAHJONG. Demonstrates that
+// MAHJONG merges the two type-consistent A-objects (o2, o3) but not o1,
+// and that doing so preserves devirtualization and cast safety while the
+// allocation-type abstraction destroys both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Clients.h"
+#include "core/Mahjong.h"
+#include "ir/Parser.h"
+
+#include <cstdio>
+
+using namespace mahjong;
+
+// Figure 1 of the paper, in the .mj language. Line numbers in comments
+// refer to the paper's listing.
+static const char *Figure1 = R"(
+class A {
+  field f: A;
+  method foo() { return this; }
+}
+class B extends A {
+  method foo() { return this; }
+}
+class C extends A {
+  method foo() { return this; }
+}
+class Main {
+  static method main() {
+    x = new A;        // o1
+    y = new A;        // o2
+    z = new A;        // o3
+    xf = new B;       // o4
+    x.f = xf;
+    yf = new C;       // o5
+    y.f = yf;
+    zf = new C;       // o6
+    z.f = zf;
+    a = z.f;          // line 7
+    a.foo();          // line 8: mono-call in truth
+    c = (C) a;        // line 9: safe in truth
+  }
+}
+)";
+
+int main() {
+  std::string Err;
+  auto P = ir::parseProgram(Figure1, Err);
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", Err.c_str());
+    return 1;
+  }
+  ir::ClassHierarchy CH(*P);
+
+  std::printf("== MAHJONG quickstart: the paper's Figure 1 ==\n\n");
+
+  // Step 1: the MAHJONG pipeline (pre-analysis -> FPG -> merging).
+  core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+  std::printf("allocation sites (reachable): %u\n",
+              MR.numAllocSiteObjects());
+  std::printf("MAHJONG abstract objects:     %u\n", MR.numMahjongObjects());
+  auto Classes = core::equivalenceClasses(*MR.FPG, MR.Modeling);
+  for (const auto &[Repr, Members] : Classes) {
+    std::printf("  class of %-22s:", P->describeObj(Repr).c_str());
+    for (ObjId O : Members)
+      std::printf(" %s", P->describeObj(O).c_str());
+    std::printf("\n");
+  }
+
+  // Step 2: three analyses over the same program.
+  pta::AllocTypeAbstraction TypeHeap(*P);
+  struct Run {
+    const char *Label;
+    const pta::HeapAbstraction *Heap;
+  } Runs[] = {
+      {"alloc-site (baseline)", nullptr},
+      {"alloc-type (naive)", &TypeHeap},
+      {"mahjong", MR.Heap.get()},
+  };
+  std::printf("\n%-22s %10s %10s %12s\n", "analysis", "poly-calls",
+              "mono-calls", "mayfail-casts");
+  for (const Run &Cfg : Runs) {
+    pta::AnalysisOptions Opts;
+    Opts.Kind = pta::ContextKind::Insensitive;
+    Opts.Heap = Cfg.Heap;
+    auto R = pta::runPointerAnalysis(*P, CH, Opts);
+    clients::ClientResults CR = clients::evaluateClients(*R);
+    std::printf("%-22s %10llu %10llu %8llu / %llu\n", Cfg.Label,
+                (unsigned long long)CR.PolyCallSites,
+                (unsigned long long)CR.MonoCallSites,
+                (unsigned long long)CR.MayFailCasts,
+                (unsigned long long)CR.TotalCasts);
+  }
+  std::printf("\nExpected: MAHJONG merges o2/o3 (both store a C) but not o1"
+              "\n(it stores a B); a.foo() stays a mono-call and (C) a stays"
+              "\nsafe, while alloc-type merging makes the call polymorphic"
+              "\nand the cast may-fail.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+//===-- core/DFACache.cpp - Shared subset construction ----------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DFACache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+
+DFACache::DFACache(const FieldPointsToGraph &G) : G(G) {
+  // State 0 is q_error: the empty object set with an empty output.
+  DFAStateId Error = intern({});
+  (void)Error;
+  assert(Error == errorState() && "q_error must be state 0");
+  // Pre-intern {o_null}: the sink for all-null suffixes (null self-loops).
+  NullState = intern({Program::nullObj().idx()});
+}
+
+DFAStateId DFACache::intern(std::vector<uint32_t> SortedObjs) {
+  DFAStateId S = Sets.intern(SortedObjs);
+  if (S.idx() >= Outputs.size()) {
+    assert(!Frozen && "interning a new DFA state after freeze()");
+    Trans.resize(S.idx() + 1);
+    TransComputed.resize(S.idx() + 1, false);
+    Outputs.resize(S.idx() + 1);
+    ContainsNull.resize(S.idx() + 1, false);
+    KnownAllSingleton.resize(S.idx() + 1, false);
+    const Program &P = G.program();
+    std::vector<TypeId> Types;
+    for (uint32_t Obj : SortedObjs) {
+      if (Program::nullObj().idx() == Obj)
+        ContainsNull[S.idx()] = true;
+      Types.push_back(P.obj(ObjId(Obj)).Type);
+    }
+    std::sort(Types.begin(), Types.end());
+    Types.erase(std::unique(Types.begin(), Types.end()), Types.end());
+    Outputs[S.idx()] = std::move(Types);
+  }
+  return S;
+}
+
+DFAStateId DFACache::startFor(ObjId O) { return intern({O.idx()}); }
+
+void DFACache::computeTransitions(DFAStateId S) {
+  assert(!Frozen && "computing transitions after freeze()");
+  TransComputed[S.idx()] = true;
+  const std::vector<uint32_t> &Objs = Sets.get(S);
+  // Collect the union alphabet of the member objects, then the successor
+  // set per field (Algorithm 3, line 10: q' = { δ[o_j, f] | o_j ∈ q }).
+  std::vector<FieldId> Fields;
+  for (uint32_t Obj : Objs)
+    for (const auto &[F, Targets] : G.fieldsOf(ObjId(Obj)))
+      Fields.push_back(F);
+  std::sort(Fields.begin(), Fields.end());
+  Fields.erase(std::unique(Fields.begin(), Fields.end()), Fields.end());
+
+  bool HasNull = ContainsNull[S.idx()];
+  std::vector<std::pair<FieldId, DFAStateId>> Result;
+  Result.reserve(Fields.size());
+  for (FieldId F : Fields) {
+    std::vector<uint32_t> Next;
+    for (uint32_t Obj : Objs)
+      for (ObjId T : G.succ(ObjId(Obj), F))
+        Next.push_back(T.idx());
+    if (HasNull) // the null member self-loops on every field
+      Next.push_back(Program::nullObj().idx());
+    std::sort(Next.begin(), Next.end());
+    Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+    Result.emplace_back(F, intern(std::move(Next)));
+  }
+  Trans[S.idx()] = std::move(Result);
+}
+
+const std::vector<std::pair<FieldId, DFAStateId>> &
+DFACache::transitions(DFAStateId S) {
+  if (!TransComputed[S.idx()])
+    computeTransitions(S);
+  return Trans[S.idx()];
+}
+
+DFAStateId DFACache::next(DFAStateId S, FieldId F) {
+  const auto &Ts = transitions(S);
+  auto It = std::lower_bound(
+      Ts.begin(), Ts.end(), F,
+      [](const auto &Entry, FieldId Key) { return Entry.first < Key; });
+  if (It != Ts.end() && It->first == F)
+    return It->second;
+  // Missing field: a state containing o_null still self-loops on it.
+  return ContainsNull[S.idx()] ? NullState : errorState();
+}
+
+const std::vector<std::pair<FieldId, DFAStateId>> &
+DFACache::transitionsFrozen(DFAStateId S) const {
+  assert(TransComputed[S.idx()] && "state not materialized before freeze()");
+  return Trans[S.idx()];
+}
+
+DFAStateId DFACache::nextFrozen(DFAStateId S, FieldId F) const {
+  const auto &Ts = transitionsFrozen(S);
+  auto It = std::lower_bound(
+      Ts.begin(), Ts.end(), F,
+      [](const auto &Entry, FieldId Key) { return Entry.first < Key; });
+  if (It != Ts.end() && It->first == F)
+    return It->second;
+  return ContainsNull[S.idx()] ? NullState : errorState();
+}
+
+const std::vector<ObjId> DFACache::members(DFAStateId S) const {
+  std::vector<ObjId> Result;
+  for (uint32_t Obj : Sets.get(S))
+    Result.push_back(ObjId(Obj));
+  return Result;
+}
+
+void DFACache::materialize(DFAStateId Start) {
+  std::deque<DFAStateId> Queue{Start};
+  std::unordered_set<uint32_t> Visited{Start.idx()};
+  while (!Queue.empty()) {
+    DFAStateId S = Queue.front();
+    Queue.pop_front();
+    for (const auto &[F, T] : transitions(S))
+      if (Visited.insert(T.idx()).second)
+        Queue.push_back(T);
+  }
+}
+
+bool DFACache::allSingletonOutputs(DFAStateId Start) {
+  if (KnownAllSingleton[Start.idx()])
+    return true;
+  std::deque<DFAStateId> Queue{Start};
+  std::unordered_set<uint32_t> Visited{Start.idx()};
+  std::vector<DFAStateId> Region;
+  while (!Queue.empty()) {
+    DFAStateId S = Queue.front();
+    Queue.pop_front();
+    if (KnownAllSingleton[S.idx()])
+      continue; // everything below S is already known good
+    if (Outputs[S.idx()].size() != 1)
+      return false;
+    Region.push_back(S);
+    for (const auto &[F, T] : transitions(S))
+      if (Visited.insert(T.idx()).second)
+        Queue.push_back(T);
+  }
+  // The whole region passed; remember it so shared suffixes are skipped.
+  for (DFAStateId S : Region)
+    KnownAllSingleton[S.idx()] = true;
+  return true;
+}

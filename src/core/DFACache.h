@@ -1,0 +1,114 @@
+//===-- core/DFACache.h - Shared subset construction ----------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinization of the FPG-based NFAs (the paper's Algorithm 3), with
+/// one crucial twist: DFA states — sets of FPG objects — are interned in a
+/// single global table shared by every root object. Because two automata
+/// rooted at different objects share all common sub-automata, converting
+/// the second one mostly hits the cache. This realizes the paper's
+/// "shared sequential automata" optimization (§5) and is what keeps the
+/// pre-pass near-linear in practice.
+///
+/// Conventions (paper §4.3/§4.4):
+///  - state id 0 is q_error, the sink for missing transitions, with an
+///    empty (unique) output set;
+///  - o_null has an implicit self-loop on every field, so a state
+///    containing o_null never falls off to q_error;
+///  - outputs are the *sets* of member types; SINGLETYPE-CHECK demands
+///    every reachable state's output be a singleton (Condition 2 of
+///    Definition 2.1).
+///
+/// After materialize()/freeze(), all query methods are const and safe to
+/// call from multiple threads concurrently (the paper's parallel
+/// type-consistency checks build all shared automata beforehand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_CORE_DFACACHE_H
+#define MAHJONG_CORE_DFACACHE_H
+
+#include "core/FieldPointsToGraph.h"
+#include "support/Interner.h"
+
+#include <vector>
+
+namespace mahjong::core {
+
+/// Globally shared determinized automaton over the FPG.
+class DFACache {
+public:
+  explicit DFACache(const FieldPointsToGraph &G);
+
+  /// The DFA start state {o} for root object \p O. Materializes the state
+  /// (not its successors).
+  DFAStateId startFor(ObjId O);
+
+  /// The q_error sink (always state 0).
+  static constexpr DFAStateId errorState() { return DFAStateId(0); }
+
+  /// Enumerated transitions of \p S, sorted by field: the fields its
+  /// member objects actually have. Computes and memoizes them on first
+  /// use (must not be the first use after freeze()).
+  const std::vector<std::pair<FieldId, DFAStateId>> &
+  transitions(DFAStateId S);
+
+  /// δ(S, F), total: falls back to the null self-loop state if S contains
+  /// o_null, else to q_error.
+  DFAStateId next(DFAStateId S, FieldId F);
+
+  /// Const overloads for the frozen, thread-shared phase.
+  const std::vector<std::pair<FieldId, DFAStateId>> &
+  transitionsFrozen(DFAStateId S) const;
+  DFAStateId nextFrozen(DFAStateId S, FieldId F) const;
+
+  /// The default sink of \p S for fields it lacks: the null self-loop
+  /// state when S contains o_null, q_error otherwise.
+  DFAStateId nextFrozenDefault(DFAStateId S) const {
+    return ContainsNull[S.idx()] ? NullState : errorState();
+  }
+
+  /// Γ-output of \p S: sorted distinct member types (empty for q_error).
+  const std::vector<TypeId> &outputs(DFAStateId S) const {
+    return Outputs[S.idx()];
+  }
+
+  /// The member objects of \p S, sorted.
+  const std::vector<ObjId> members(DFAStateId S) const;
+
+  /// SINGLETYPE-CHECK (Condition 2 of Definition 2.1): every state
+  /// reachable from \p Start has a singleton output. Successful regions
+  /// are memoized, so repeated checks over shared sub-automata are cheap.
+  bool allSingletonOutputs(DFAStateId Start);
+
+  /// Expands every state reachable from \p Start so that all transitions
+  /// are computed; afterwards queries on this region need no mutation.
+  void materialize(DFAStateId Start);
+
+  /// Marks the cache read-only (debug aid for the parallel phase).
+  void freeze() { Frozen = true; }
+  bool isFrozen() const { return Frozen; }
+
+  uint32_t numStates() const { return Sets.size(); }
+
+private:
+  DFAStateId intern(std::vector<uint32_t> SortedObjs);
+  void computeTransitions(DFAStateId S);
+
+  const FieldPointsToGraph &G;
+  Interner<DFAStateId, std::vector<uint32_t>, VectorHash> Sets;
+  std::vector<std::vector<std::pair<FieldId, DFAStateId>>> Trans;
+  std::vector<bool> TransComputed;
+  std::vector<std::vector<TypeId>> Outputs;
+  std::vector<bool> ContainsNull;
+  std::vector<bool> KnownAllSingleton; ///< memo for allSingletonOutputs
+  DFAStateId NullState;                ///< the state {o_null}
+  bool Frozen = false;
+};
+
+} // namespace mahjong::core
+
+#endif // MAHJONG_CORE_DFACACHE_H

@@ -1,0 +1,62 @@
+//===-- core/DFAPartition.cpp - Global behavioral partition -----------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DFAPartition.h"
+
+#include "support/Interner.h"
+
+#include <algorithm>
+
+using namespace mahjong;
+using namespace mahjong::core;
+
+DFAPartition::DFAPartition(DFACache &Cache) {
+  uint32_t N = Cache.numStates();
+  Block.assign(N, 0);
+
+  // Initial partition: by output set. Outputs determine whether a state
+  // contains o_null (the null type is only ever output by o_null), so the
+  // default transition target — q_error vs the null sink — is uniform
+  // within a block, which the signature construction below relies on.
+  {
+    Interner<Id<struct OutTag>, std::vector<uint32_t>, VectorHash> OutIds;
+    for (uint32_t I = 0; I < N; ++I) {
+      std::vector<uint32_t> Key;
+      for (TypeId T : Cache.outputs(DFAStateId(I)))
+        Key.push_back(T.idx());
+      Block[I] = OutIds.intern(Key).idx();
+    }
+    NumBlocks = OutIds.size();
+  }
+
+  // Refine: a state's signature is its block plus, for each field, the
+  // block of the successor — omitting entries that lead to the state's
+  // default sink, so a missing field and an explicit edge to the sink
+  // compare equal (they are behaviorally identical).
+  for (;;) {
+    ++Rounds;
+    Interner<Id<struct SigTag>, std::vector<uint32_t>, VectorHash> SigIds;
+    std::vector<uint32_t> Next(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      DFAStateId S = DFAStateId(I);
+      DFAStateId Sink = Cache.nextFrozenDefault(S);
+      std::vector<uint32_t> Sig;
+      Sig.push_back(Block[I]);
+      for (const auto &[F, T] : Cache.transitions(S))
+        if (Block[T.idx()] != Block[Sink.idx()]) {
+          Sig.push_back(F.idx());
+          Sig.push_back(Block[T.idx()]);
+        }
+      Next[I] = SigIds.intern(Sig).idx();
+    }
+    if (SigIds.size() == NumBlocks) {
+      Block = std::move(Next);
+      break; // stable
+    }
+    NumBlocks = SigIds.size();
+    Block = std::move(Next);
+  }
+}

@@ -1,0 +1,97 @@
+//===-- core/EquivChecker.cpp - Hopcroft-Karp equivalence -------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EquivChecker.h"
+
+#include <vector>
+
+using namespace mahjong;
+using namespace mahjong::core;
+
+uint32_t EquivChecker::LazyUnionFind::find(uint32_t X) {
+  auto It = Parent.find(X);
+  if (It == Parent.end())
+    return X; // untouched elements are their own singletons
+  // Path-compressing find over the sparse parent map.
+  uint32_t Root = X;
+  while (true) {
+    auto Next = Parent.find(Root);
+    if (Next == Parent.end() || Next->second == Root)
+      break;
+    Root = Next->second;
+  }
+  while (X != Root) {
+    uint32_t &Slot = Parent[X];
+    uint32_t NextX = Slot;
+    Slot = Root;
+    X = NextX;
+  }
+  return Root;
+}
+
+void EquivChecker::LazyUnionFind::unite(uint32_t A, uint32_t B) {
+  uint32_t RA = find(A), RB = find(B);
+  if (RA != RB)
+    Parent[RA] = RB;
+}
+
+bool EquivChecker::equivalent(DFAStateId A, DFAStateId B) {
+  if (A == B)
+    return true;
+  const bool Frozen = Cache.isFrozen();
+  LazyUnionFind UF;
+  std::vector<std::pair<DFAStateId, DFAStateId>> Stack;
+
+  // Uniting two states asserts they behave identically, so their outputs
+  // must agree; checking at union time is the incremental equivalent of
+  // Algorithm 4's final pass over every merged class.
+  auto UniteChecked = [&](DFAStateId X, DFAStateId Y) -> bool {
+    if (Cache.outputs(X) != Cache.outputs(Y))
+      return false;
+    UF.unite(X.idx(), Y.idx());
+    Stack.emplace_back(X, Y);
+    return true;
+  };
+
+  if (!UniteChecked(A, B))
+    return false;
+
+  while (!Stack.empty()) {
+    auto [P1, P2] = Stack.back();
+    Stack.pop_back();
+    ++PairsExamined;
+    // The relevant alphabet is the union of both states' field sets; on
+    // any other symbol both sides take the same default transition
+    // (q_error / the null sink), which is trivially consistent.
+    const auto &T1 = Frozen ? Cache.transitionsFrozen(P1)
+                            : Cache.transitions(P1);
+    const auto &T2 = Frozen ? Cache.transitionsFrozen(P2)
+                            : Cache.transitions(P2);
+    size_t I = 0, J = 0;
+    auto Step = [&](FieldId F) -> bool {
+      DFAStateId N1 = Frozen ? Cache.nextFrozen(P1, F) : Cache.next(P1, F);
+      DFAStateId N2 = Frozen ? Cache.nextFrozen(P2, F) : Cache.next(P2, F);
+      if (UF.find(N1.idx()) == UF.find(N2.idx()))
+        return true;
+      return UniteChecked(N1, N2);
+    };
+    while (I < T1.size() || J < T2.size()) {
+      FieldId F;
+      if (J >= T2.size() || (I < T1.size() && T1[I].first < T2[J].first))
+        F = T1[I++].first;
+      else if (I >= T1.size() || T2[J].first < T1[I].first)
+        F = T2[J++].first;
+      else {
+        F = T1[I].first;
+        ++I;
+        ++J;
+      }
+      if (!Step(F))
+        return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,83 @@
+//===-- core/FieldPointsToGraph.h - The FPG (paper §2.2.1) ----*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The field points-to graph (FPG): nodes are the abstract heap objects of
+/// the pre-analysis, and an edge (o_i, f, o_j) says o_i.f may point to
+/// o_j. Built from a (context-insensitive) PTAResult by projecting the
+/// object-field points-to relation, then completing it per the paper's
+/// conventions (§4.1):
+///
+///  - a dummy node o_null represents null;
+///  - a declared field that is never written points to o_null;
+///  - (o_null, f, o_null) holds for every field f (null self-loops).
+///
+/// Only objects allocated in pre-analysis-reachable methods participate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_CORE_FIELDPOINTSTOGRAPH_H
+#define MAHJONG_CORE_FIELDPOINTSTOGRAPH_H
+
+#include "pta/PointerAnalysis.h"
+
+#include <vector>
+
+namespace mahjong::core {
+
+/// The immutable FPG for one program, derived from a pre-analysis.
+class FieldPointsToGraph {
+public:
+  /// Projects \p Pre (normally the context-insensitive Andersen
+  /// pre-analysis) onto object fields and applies null completion.
+  explicit FieldPointsToGraph(const pta::PTAResult &Pre);
+
+  const ir::Program &program() const { return P; }
+
+  /// Successors of (\p O, \p F). For o_null, every field yields {o_null}.
+  /// An empty result means O has no field F.
+  const std::vector<ObjId> &succ(ObjId O, FieldId F) const;
+
+  /// All (field, successors) pairs of \p O, sorted by field id. o_null
+  /// reports an empty list (its self-loops are implicit in succ()).
+  const std::vector<std::pair<FieldId, std::vector<ObjId>>> &
+  fieldsOf(ObjId O) const {
+    return Adj[O.idx()];
+  }
+
+  /// True if \p O was allocated in a reachable method (o_null included).
+  bool isReachable(ObjId O) const { return Reachable[O.idx()]; }
+
+  /// All reachable objects except o_null, ascending.
+  std::vector<ObjId> reachableObjs() const;
+
+  /// Number of reachable objects excluding o_null (the paper's Figure 8
+  /// "allocation-site abstraction" object count).
+  uint32_t numReachableObjs() const { return NumReachable; }
+
+  /// Total number of FPG edges (after null completion).
+  uint64_t numEdges() const { return NumEdges; }
+
+  /// Number of distinct fields appearing on edges.
+  uint32_t numFieldsUsed() const { return NumFieldsUsed; }
+
+  /// Size of the NFA rooted at \p O: the number of FPG nodes reachable
+  /// from it (paper §6.1.1 reports avg/max NFA sizes).
+  uint32_t nfaSize(ObjId O) const;
+
+private:
+  const ir::Program &P;
+  std::vector<std::vector<std::pair<FieldId, std::vector<ObjId>>>> Adj;
+  std::vector<bool> Reachable;
+  std::vector<ObjId> NullSucc; ///< {o_null}, returned for o_null queries
+  uint32_t NumReachable = 0;
+  uint64_t NumEdges = 0;
+  uint32_t NumFieldsUsed = 0;
+};
+
+} // namespace mahjong::core
+
+#endif // MAHJONG_CORE_FIELDPOINTSTOGRAPH_H

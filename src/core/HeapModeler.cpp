@@ -1,0 +1,189 @@
+//===-- core/HeapModeler.cpp - MAHJONG's heap modeler (Alg. 1) --------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HeapModeler.h"
+
+#include "core/DFAPartition.h"
+#include "core/EquivChecker.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+
+namespace {
+
+/// One per-type work unit: the objects of a single class type, in
+/// allocation-site order. Tasks over different buckets are independent by
+/// construction (type-consistent objects always share a type).
+struct TypeBucket {
+  std::vector<ObjId> Objs;
+  /// Output: equivalence groups found within this bucket.
+  std::vector<std::vector<ObjId>> Groups;
+  uint64_t PairsTested = 0;
+};
+
+/// Partitions the bucket into type-consistency classes with the paper's
+/// plain scan: each object is compared against the representative of
+/// every existing class (one Hopcroft-Karp query each) and joins the
+/// first match.
+void processBucketByScan(TypeBucket &Bucket, DFACache &Cache,
+                         bool EnforceCondition2) {
+  EquivChecker Checker(Cache);
+  std::vector<DFAStateId> GroupStart; // start state per group
+  for (ObjId O : Bucket.Objs) {
+    DFAStateId Start = Cache.startFor(O);
+    // Condition 2 (SINGLETYPE-CHECK): objects whose automata can reach a
+    // mixed-type state stay unmerged (lines 6-7 of Algorithm 1).
+    if (EnforceCondition2 && !Cache.allSingletonOutputs(Start)) {
+      Bucket.Groups.push_back({O});
+      GroupStart.push_back(DFAStateId::invalid());
+      continue;
+    }
+    bool Joined = false;
+    for (size_t GIdx = 0; GIdx < Bucket.Groups.size(); ++GIdx) {
+      if (!GroupStart[GIdx].isValid())
+        continue; // a condition-2 violator never accepts members
+      ++Bucket.PairsTested;
+      if (Checker.equivalent(GroupStart[GIdx], Start)) {
+        Bucket.Groups[GIdx].push_back(O);
+        Joined = true;
+        break;
+      }
+    }
+    if (!Joined) {
+      Bucket.Groups.push_back({O});
+      GroupStart.push_back(Start);
+    }
+  }
+}
+
+/// Same result, but candidates are pre-grouped by the global behavioral
+/// partition; Hopcroft-Karp certifies each member against its group's
+/// representative (one near-linear query per object instead of one per
+/// (object, class) pair).
+void processBucketByPartition(TypeBucket &Bucket, DFACache &Cache,
+                              const DFAPartition &Partition,
+                              bool EnforceCondition2) {
+  EquivChecker Checker(Cache);
+  std::map<uint32_t, size_t> GroupOfBlock;
+  std::vector<DFAStateId> GroupStart;
+  for (ObjId O : Bucket.Objs) {
+    DFAStateId Start = Cache.startFor(O);
+    if (EnforceCondition2 && !Cache.allSingletonOutputs(Start)) {
+      Bucket.Groups.push_back({O});
+      GroupStart.push_back(DFAStateId::invalid());
+      continue;
+    }
+    uint32_t Blk = Partition.blockOf(Start);
+    auto [It, Fresh] = GroupOfBlock.try_emplace(Blk, Bucket.Groups.size());
+    if (Fresh) {
+      Bucket.Groups.push_back({O});
+      GroupStart.push_back(Start);
+      continue;
+    }
+    ++Bucket.PairsTested;
+    bool Equal = Checker.equivalent(GroupStart[It->second], Start);
+    assert(Equal && "partition disagrees with Hopcroft-Karp");
+    if (Equal)
+      Bucket.Groups[It->second].push_back(O);
+    else
+      Bucket.Groups.push_back({O}), GroupStart.push_back(Start);
+  }
+}
+
+} // namespace
+
+HeapModelerResult mahjong::core::modelHeap(const FieldPointsToGraph &G,
+                                           DFACache &Cache,
+                                           const HeapModelerOptions &Opts) {
+  Timer Clock;
+  const Program &P = G.program();
+  HeapModelerResult Result;
+  Result.MOM.resize(P.numObjs());
+  for (uint32_t I = 0; I < P.numObjs(); ++I)
+    Result.MOM[I] = ObjId(I);
+
+  // Bucket reachable objects by type (std::map keeps the processing order
+  // deterministic regardless of threading).
+  std::map<uint32_t, TypeBucket> Buckets;
+  for (ObjId O : G.reachableObjs())
+    Buckets[P.obj(O).Type.idx()].Objs.push_back(O);
+  Result.NumReachableObjs = G.numReachableObjs();
+
+  // Build all shared automata up front: the behavioral partition needs
+  // the complete state space, and the parallel phase must only read the
+  // cache (the paper's synchronization-free scheme).
+  for (auto &[TypeIdx, Bucket] : Buckets)
+    for (ObjId O : Bucket.Objs)
+      Cache.materialize(Cache.startFor(O));
+  if (Opts.EnforceCondition2)
+    for (auto &[TypeIdx, Bucket] : Buckets)
+      for (ObjId O : Bucket.Objs)
+        Cache.allSingletonOutputs(Cache.startFor(O));
+
+  std::unique_ptr<DFAPartition> Partition;
+  if (Opts.UsePartitionIndex)
+    Partition = std::make_unique<DFAPartition>(Cache);
+
+  auto RunBucket = [&](TypeBucket &Bucket) {
+    if (Partition)
+      processBucketByPartition(Bucket, Cache, *Partition,
+                               Opts.EnforceCondition2);
+    else
+      processBucketByScan(Bucket, Cache, Opts.EnforceCondition2);
+  };
+
+  if (Opts.Threads > 1) {
+    Cache.freeze();
+    ThreadPool Pool(Opts.Threads);
+    for (auto &[TypeIdx, Bucket] : Buckets) {
+      TypeBucket *B = &Bucket;
+      Pool.enqueue([B, &RunBucket] { RunBucket(*B); });
+    }
+    Pool.wait();
+  } else {
+    for (auto &[TypeIdx, Bucket] : Buckets)
+      RunBucket(Bucket);
+  }
+
+  // Apply the groups: pick each class's representative per policy.
+  for (auto &[TypeIdx, Bucket] : Buckets) {
+    Result.PairsTested += Bucket.PairsTested;
+    for (const std::vector<ObjId> &Group : Bucket.Groups) {
+      ObjId Repr = Opts.Repr == ReprPolicy::FirstSite
+                       ? *std::min_element(Group.begin(), Group.end())
+                       : *std::max_element(Group.begin(), Group.end());
+      for (ObjId Member : Group)
+        Result.MOM[Member.idx()] = Repr;
+      ++Result.NumClasses;
+    }
+  }
+  Result.DFAStates = Cache.numStates();
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+std::vector<std::pair<ObjId, std::vector<ObjId>>>
+mahjong::core::equivalenceClasses(const FieldPointsToGraph &G,
+                                  const HeapModelerResult &Result) {
+  std::map<uint32_t, std::vector<ObjId>> ByRepr;
+  for (ObjId O : G.reachableObjs())
+    ByRepr[Result.MOM[O.idx()].idx()].push_back(O);
+  std::vector<std::pair<ObjId, std::vector<ObjId>>> Classes;
+  Classes.reserve(ByRepr.size());
+  for (auto &[Repr, Members] : ByRepr)
+    Classes.emplace_back(ObjId(Repr), std::move(Members));
+  std::stable_sort(Classes.begin(), Classes.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second.size() > B.second.size();
+                   });
+  return Classes;
+}

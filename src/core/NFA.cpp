@@ -1,0 +1,39 @@
+//===-- core/NFA.cpp - Sequential automata over the FPG ---------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NFA.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace mahjong;
+using namespace mahjong::core;
+
+NFA::NFA(const FieldPointsToGraph &G, ObjId Root) : G(G), Root(Root) {
+  std::unordered_set<uint32_t> Visited{Root.idx()};
+  std::deque<ObjId> Queue{Root};
+  std::unordered_set<uint32_t> Fields;
+  const ir::Program &P = G.program();
+  while (!Queue.empty()) {
+    ObjId Cur = Queue.front();
+    Queue.pop_front();
+    States.push_back(Cur);
+    if (P.isNullObj(Cur))
+      continue; // o_null's self-loops add no new states or symbols
+    for (const auto &[F, Targets] : G.fieldsOf(Cur)) {
+      Fields.insert(F.idx());
+      for (ObjId T : Targets)
+        if (Visited.insert(T.idx()).second)
+          Queue.push_back(T);
+    }
+  }
+  std::sort(States.begin(), States.end());
+  Alphabet.reserve(Fields.size());
+  for (uint32_t F : Fields)
+    Alphabet.push_back(FieldId(F));
+  std::sort(Alphabet.begin(), Alphabet.end());
+}

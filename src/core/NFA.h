@@ -1,0 +1,66 @@
+//===-- core/NFA.h - Sequential automata over the FPG ---------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 6-tuple sequential automaton A_o = (Q, Σ, δ, q0, Γ, γ) read off the
+/// field points-to graph rooted at an object o (the paper's Figure 4 and
+/// Algorithm 2): states are the objects reachable from o, input symbols
+/// are field names, the next-state map is the field points-to map, and
+/// the output map γ assigns each state its class type.
+///
+/// The NFA is a *view*: states and the alphabet are materialized, but
+/// transitions delegate to the shared FPG — this is the paper's "shared
+/// sequential automata" optimization (§5), under which common sub-automata
+/// of different roots exist only once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_CORE_NFA_H
+#define MAHJONG_CORE_NFA_H
+
+#include "core/FieldPointsToGraph.h"
+
+#include <vector>
+
+namespace mahjong::core {
+
+/// The sequential automaton rooted at one object (Algorithm 2).
+class NFA {
+public:
+  /// Builds the automaton for \p Root over \p G by discovering the
+  /// reachable object set.
+  NFA(const FieldPointsToGraph &G, ObjId Root);
+
+  ObjId start() const { return Root; }
+
+  /// Q: the states (reachable objects), ascending by id.
+  const std::vector<ObjId> &states() const { return States; }
+
+  /// Σ: the input symbols (fields of any state), ascending by id.
+  const std::vector<FieldId> &alphabet() const { return Alphabet; }
+
+  /// δ(q, f): the successor states (may be empty — no such field).
+  const std::vector<ObjId> &next(ObjId State, FieldId F) const {
+    return G.succ(State, F);
+  }
+
+  /// γ(q): the output symbol of a state — its type.
+  TypeId output(ObjId State) const {
+    return G.program().obj(State).Type;
+  }
+
+  size_t numStates() const { return States.size(); }
+
+private:
+  const FieldPointsToGraph &G;
+  ObjId Root;
+  std::vector<ObjId> States;
+  std::vector<FieldId> Alphabet;
+};
+
+} // namespace mahjong::core
+
+#endif // MAHJONG_CORE_NFA_H

@@ -1,0 +1,91 @@
+//===-- ir/ClassHierarchy.cpp - Subtyping and dispatch ---------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ClassHierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
+  uint32_t N = P.numTypes();
+  Depth.assign(N, 0);
+  Dispatch.resize(N);
+  Subclasses.resize(N);
+
+  // Process types in an order where superclasses come first. The builder
+  // guarantees acyclicity, so iterating by depth works; compute depths by
+  // chasing the super chain (shallow in practice).
+  std::vector<TypeId> Order;
+  Order.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    TypeId T = TypeId(I);
+    unsigned D = 0;
+    for (TypeId Walk = P.type(T).Super; Walk.isValid();
+         Walk = P.type(Walk).Super)
+      ++D;
+    Depth[I] = D;
+    Order.push_back(T);
+  }
+  std::stable_sort(Order.begin(), Order.end(), [&](TypeId A, TypeId B) {
+    return Depth[A.idx()] < Depth[B.idx()];
+  });
+
+  for (TypeId T : Order) {
+    const TypeInfo &TI = P.type(T);
+    // Inherit the superclass's dispatch table, then apply overrides.
+    if (TI.Super.isValid())
+      Dispatch[T.idx()] = Dispatch[TI.Super.idx()];
+    for (MethodId M : TI.Methods) {
+      const MethodInfo &MI = P.method(M);
+      if (!MI.IsStatic)
+        Dispatch[T.idx()][MI.DispatchSig] = M;
+    }
+    // Record T in the subclass lists of all its ancestors.
+    if (TI.Kind == TypeKind::Class)
+      for (TypeId Walk = T; Walk.isValid(); Walk = P.type(Walk).Super)
+        Subclasses[Walk.idx()].push_back(T);
+  }
+}
+
+bool ClassHierarchy::isSubtype(TypeId Sub, TypeId Super) const {
+  if (Sub == Super)
+    return true;
+  const TypeInfo &SubTI = P.type(Sub);
+  if (SubTI.Kind == TypeKind::Null)
+    return true; // null is a subtype of everything
+  if (Super == P.objectType())
+    return true;
+  const TypeInfo &SuperTI = P.type(Super);
+  if (SubTI.Kind == TypeKind::Array) {
+    // Covariant arrays: E1[] <= E2[] iff E1 <= E2.
+    if (SuperTI.Kind != TypeKind::Array)
+      return false;
+    return isSubtype(SubTI.Elem, SuperTI.Elem);
+  }
+  if (SuperTI.Kind != TypeKind::Class)
+    return false;
+  for (TypeId Walk = SubTI.Super; Walk.isValid(); Walk = P.type(Walk).Super)
+    if (Walk == Super)
+      return true;
+  return false;
+}
+
+MethodId ClassHierarchy::resolveVirtual(TypeId Recv,
+                                        std::string_view DispatchSig) const {
+  // Arrays dispatch through Object's table.
+  if (P.type(Recv).Kind == TypeKind::Array)
+    Recv = P.objectType();
+  assert(P.type(Recv).Kind != TypeKind::Null &&
+         "virtual dispatch on the null type");
+  const auto &Table = Dispatch[Recv.idx()];
+  auto It = Table.find(std::string(DispatchSig));
+  if (It == Table.end())
+    return MethodId::invalid();
+  return P.method(It->second).IsAbstract ? MethodId::invalid() : It->second;
+}

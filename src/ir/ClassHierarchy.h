@@ -1,0 +1,62 @@
+//===-- ir/ClassHierarchy.h - Subtyping and dispatch ----------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precomputed class-hierarchy queries: subtype tests (including array
+/// covariance and the null type) and virtual-method dispatch tables, the
+/// two services every points-to analysis and every type-dependent client
+/// needs from the frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_CLASSHIERARCHY_H
+#define MAHJONG_IR_CLASSHIERARCHY_H
+
+#include "ir/Program.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mahjong::ir {
+
+/// Immutable hierarchy queries over one Program.
+class ClassHierarchy {
+public:
+  explicit ClassHierarchy(const Program &P);
+
+  /// \returns true if \p Sub is the same type as or a subtype of \p Super.
+  /// The null type is a subtype of every reference type; arrays are
+  /// covariant and subtypes of Object.
+  bool isSubtype(TypeId Sub, TypeId Super) const;
+
+  /// Resolves virtual dispatch of \p DispatchSig ("name/arity") on a
+  /// receiver of dynamic type \p Recv.
+  ///
+  /// \returns the concrete target, or an invalid id if no (concrete)
+  /// implementation exists.
+  MethodId resolveVirtual(TypeId Recv, std::string_view DispatchSig) const;
+
+  /// All class types (not arrays) that are subtypes of \p T, including
+  /// \p T itself.
+  const std::vector<TypeId> &subclassesOf(TypeId T) const {
+    return Subclasses[T.idx()];
+  }
+
+  /// Depth of \p T in the class tree (Object is 0; arrays are 1).
+  unsigned depth(TypeId T) const { return Depth[T.idx()]; }
+
+private:
+  const Program &P;
+  std::vector<unsigned> Depth;
+  /// Per type, the dispatch table "name/arity" -> concrete method.
+  std::vector<std::unordered_map<std::string, MethodId>> Dispatch;
+  std::vector<std::vector<TypeId>> Subclasses;
+};
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_CLASSHIERARCHY_H

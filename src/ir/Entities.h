@@ -1,0 +1,153 @@
+//===-- ir/Entities.h - IR entity records ---------------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain records for the entities of the Java-like IR: types, fields,
+/// methods, variables, allocation sites, call sites and cast sites. All are
+/// stored densely in the Program arena and referred to by strong ids
+/// (see support/Ids.h).
+///
+/// The IR keeps exactly the statements a flow-insensitive points-to
+/// analysis consumes (the Doop/Tai-e fact schema): allocations, copies,
+/// instance/static field loads and stores, casts, invocations and returns.
+/// Arrays are reference types with a distinguished element field, so array
+/// reads/writes are ordinary loads/stores of that field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_ENTITIES_H
+#define MAHJONG_IR_ENTITIES_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mahjong::ir {
+
+/// Kinds of reference types.
+enum class TypeKind : uint8_t {
+  Class, ///< an ordinary class
+  Array, ///< an array type; Elem is the element type
+  Null,  ///< the type of the null constant (subtype of everything)
+};
+
+/// A reference type. Single inheritance; the root class is "Object".
+struct TypeInfo {
+  std::string Name;
+  TypeKind Kind = TypeKind::Class;
+  TypeId Super;             ///< invalid for Object and the null type
+  TypeId Elem;              ///< element type; arrays only
+  std::vector<FieldId> Fields; ///< instance fields *declared* by this type
+  std::vector<MethodId> Methods; ///< methods declared by this type
+};
+
+/// An instance or static field.
+struct FieldInfo {
+  std::string Name;
+  TypeId Declaring;    ///< class that declares the field
+  TypeId DeclaredType; ///< declared (reference) type of the field
+  bool IsStatic = false;
+};
+
+/// How a call site dispatches.
+enum class CallKind : uint8_t {
+  Virtual, ///< dynamic dispatch on the receiver object's type
+  Static,  ///< direct call to a static method
+  Special, ///< direct call to an instance method (constructors, super)
+};
+
+/// One invocation site.
+struct CallSiteInfo {
+  CallKind Kind = CallKind::Virtual;
+  /// Dispatch key "name/arity" for virtual calls; unused otherwise.
+  std::string Sig;
+  /// Direct callee for static/special calls; invalid for virtual calls.
+  MethodId Direct;
+  VarId Base;   ///< receiver; invalid for static calls
+  std::vector<VarId> Args;
+  VarId Result; ///< invalid when the result is discarded
+  MethodId Enclosing;
+};
+
+/// One cast site ("To = (Target) From"), tracked for the may-fail-cast
+/// client.
+struct CastSiteInfo {
+  VarId To;
+  VarId From;
+  TypeId Target;
+  MethodId Enclosing;
+};
+
+/// One allocation site; doubles as the abstract object of the
+/// allocation-site abstraction.
+struct ObjInfo {
+  TypeId Type;
+  MethodId Method; ///< method containing the allocation; invalid for o_null
+  std::string Label;
+};
+
+/// A local variable (or parameter / this / return slot) of a method.
+struct VarInfo {
+  std::string Name;
+  MethodId Method;
+};
+
+/// IR statement opcodes.
+enum class StmtKind : uint8_t {
+  Alloc,       ///< To = new T        (Obj names the allocation site)
+  Copy,        ///< To = From
+  AssignNull,  ///< To = null
+  Load,        ///< To = Base.Field
+  Store,       ///< Base.Field = From
+  StaticLoad,  ///< To = C::Field
+  StaticStore, ///< C::Field = From
+  Cast,        ///< To = (T) From     (Cast indexes the cast-site table)
+  Invoke,      ///< call               (Site indexes the call-site table)
+  Return,      ///< return From        (flows into the method's return var)
+  Throw,       ///< throw From         (flows into the method's $exc var)
+  Catch,       ///< To = catch T       (catches exceptions of type T)
+};
+
+/// A single IR statement. Operand fields are meaningful per StmtKind as
+/// documented on the opcodes; unused operands stay invalid.
+struct Stmt {
+  StmtKind Kind;
+  VarId To;
+  VarId From;
+  VarId Base;
+  FieldId Field;
+  ObjId Obj;
+  CallSiteId Site;
+  TypeId Type;          ///< Catch: the caught exception type
+  uint32_t CastIdx = 0; ///< Cast: index into the cast-site table
+};
+
+/// A method with its pointer-relevant body.
+struct MethodInfo {
+  std::string Name;      ///< simple name
+  std::string Signature; ///< "Class.name/arity", globally unique
+  std::string DispatchSig; ///< "name/arity", the virtual-dispatch key
+  TypeId Declaring;
+  bool IsStatic = false;
+  bool IsAbstract = false;
+  VarId This; ///< invalid for static methods
+  std::vector<VarId> Params;
+  VarId Ret;  ///< return slot; invalid for void methods
+  /// Exception slot: objects the method may propagate to its callers.
+  /// Thrown objects and (over-approximately) callees' exceptions flow in;
+  /// Catch statements read from it. Flow-insensitive, so a catch in a
+  /// method observes every exception raised anywhere in it, and caught
+  /// exceptions conservatively still propagate to callers — sound, like
+  /// Doop's default exception analysis but coarser (see DESIGN.md).
+  VarId Exc;
+  std::vector<Stmt> Body;
+};
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_ENTITIES_H

@@ -1,0 +1,193 @@
+//===-- ir/Lexer.cpp - Tokenizer for the .mj language ----------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+static const std::unordered_map<std::string_view, TokKind> Keywords = {
+    {"class", TokKind::KwClass},     {"extends", TokKind::KwExtends},
+    {"field", TokKind::KwField},     {"method", TokKind::KwMethod},
+    {"static", TokKind::KwStatic},   {"abstract", TokKind::KwAbstract},
+    {"new", TokKind::KwNew},         {"null", TokKind::KwNull},
+    {"return", TokKind::KwReturn},   {"special", TokKind::KwSpecial},
+    {"throw", TokKind::KwThrow},     {"catch", TokKind::KwCatch},
+};
+
+std::vector<Token> mahjong::ir::tokenize(std::string_view Src) {
+  std::vector<Token> Toks;
+  size_t I = 0, N = Src.size();
+  unsigned Line = 1, Col = 1;
+
+  auto Advance = [&](size_t Count) {
+    for (size_t K = 0; K < Count && I < N; ++K, ++I) {
+      if (Src[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  };
+  auto Push = [&](TokKind Kind, std::string Text, unsigned L, unsigned C) {
+    Toks.push_back({Kind, std::move(Text), L, C});
+  };
+
+  while (I < N) {
+    char Ch = Src[I];
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      Advance(1);
+      continue;
+    }
+    // Comments.
+    if (Ch == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        Advance(1);
+      continue;
+    }
+    if (Ch == '/' && I + 1 < N && Src[I + 1] == '*') {
+      Advance(2);
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/'))
+        Advance(1);
+      Advance(2); // past "*/" (or to end on unterminated comment)
+      continue;
+    }
+    unsigned L = Line, C = Col;
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_' ||
+        Ch == '$') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_' || Src[I] == '$'))
+        Advance(1);
+      std::string_view Word = Src.substr(Start, I - Start);
+      auto It = Keywords.find(Word);
+      Push(It == Keywords.end() ? TokKind::Ident : It->second,
+           std::string(Word), L, C);
+      continue;
+    }
+    switch (Ch) {
+    case '{':
+      Push(TokKind::LBrace, "{", L, C);
+      Advance(1);
+      continue;
+    case '}':
+      Push(TokKind::RBrace, "}", L, C);
+      Advance(1);
+      continue;
+    case '(':
+      Push(TokKind::LParen, "(", L, C);
+      Advance(1);
+      continue;
+    case ')':
+      Push(TokKind::RParen, ")", L, C);
+      Advance(1);
+      continue;
+    case '[':
+      Push(TokKind::LBracket, "[", L, C);
+      Advance(1);
+      continue;
+    case ']':
+      Push(TokKind::RBracket, "]", L, C);
+      Advance(1);
+      continue;
+    case ';':
+      Push(TokKind::Semi, ";", L, C);
+      Advance(1);
+      continue;
+    case ',':
+      Push(TokKind::Comma, ",", L, C);
+      Advance(1);
+      continue;
+    case '.':
+      Push(TokKind::Dot, ".", L, C);
+      Advance(1);
+      continue;
+    case '=':
+      Push(TokKind::Eq, "=", L, C);
+      Advance(1);
+      continue;
+    case ':':
+      if (I + 1 < N && Src[I + 1] == ':') {
+        Push(TokKind::ColonColon, "::", L, C);
+        Advance(2);
+      } else {
+        Push(TokKind::Colon, ":", L, C);
+        Advance(1);
+      }
+      continue;
+    default:
+      Push(TokKind::Error, std::string(1, Ch), L, C);
+      Advance(1);
+      continue;
+    }
+  }
+  Toks.push_back({TokKind::Eof, "", Line, Col});
+  return Toks;
+}
+
+std::string_view mahjong::ir::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwExtends:
+    return "'extends'";
+  case TokKind::KwField:
+    return "'field'";
+  case TokKind::KwMethod:
+    return "'method'";
+  case TokKind::KwStatic:
+    return "'static'";
+  case TokKind::KwAbstract:
+    return "'abstract'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwSpecial:
+    return "'special'";
+  case TokKind::KwThrow:
+    return "'throw'";
+  case TokKind::KwCatch:
+    return "'catch'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::ColonColon:
+    return "'::'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Eq:
+    return "'='";
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Error:
+    return "invalid character";
+  }
+  return "?";
+}

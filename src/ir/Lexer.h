@@ -1,0 +1,73 @@
+//===-- ir/Lexer.h - Tokenizer for the .mj language -----------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual IR language (.mj files). The language covers
+/// exactly the pointer-relevant Java subset of ir/Entities.h; see
+/// ir/Parser.h for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_LEXER_H
+#define MAHJONG_IR_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mahjong::ir {
+
+/// Token kinds of the .mj language.
+enum class TokKind : uint8_t {
+  Ident,
+  KwClass,
+  KwExtends,
+  KwField,
+  KwMethod,
+  KwStatic,
+  KwAbstract,
+  KwNew,
+  KwNull,
+  KwReturn,
+  KwSpecial,
+  KwThrow,
+  KwCatch,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  ColonColon,
+  Dot,
+  Eq,
+  Eof,
+  Error,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Tokenizes \p Source. Unknown characters become a single Error token;
+/// the stream always ends with Eof. Supports '//' line comments and
+/// '/* */' block comments.
+std::vector<Token> tokenize(std::string_view Source);
+
+/// Human-readable spelling of a token kind for diagnostics.
+std::string_view tokKindName(TokKind Kind);
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_LEXER_H

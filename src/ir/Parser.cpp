@@ -1,0 +1,415 @@
+//===-- ir/Parser.cpp - Parser for the .mj language ------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Lexer.h"
+#include "ir/ProgramBuilder.h"
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+namespace {
+
+/// Recursive-descent parser translating tokens into ProgramBuilder calls.
+class Parser {
+public:
+  Parser(std::string_view Source, std::string &Err)
+      : Toks(tokenize(Source)), Err(Err) {}
+
+  std::unique_ptr<Program> run() {
+    while (!at(TokKind::Eof)) {
+      if (!parseClass())
+        return nullptr;
+    }
+    std::string BuildErr;
+    auto P = Builder.finish(BuildErr);
+    if (!P)
+      Err = BuildErr;
+    return P;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(TokKind Kind) const { return cur().Kind == Kind; }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+
+  bool error(const std::string &Msg) {
+    Err = std::to_string(cur().Line) + ":" + std::to_string(cur().Col) +
+          ": " + Msg;
+    return false;
+  }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (!at(Kind))
+      return error(std::string("expected ") + std::string(tokKindName(Kind)) +
+                   " " + What + ", found " +
+                   std::string(tokKindName(cur().Kind)));
+    advance();
+    return true;
+  }
+
+  /// IDENT captured into \p Out.
+  bool ident(std::string &Out, const char *What) {
+    if (!at(TokKind::Ident))
+      return error(std::string("expected identifier ") + What + ", found " +
+                   std::string(tokKindName(cur().Kind)));
+    Out = cur().Text;
+    advance();
+    return true;
+  }
+
+  /// type := IDENT ("[" "]")*
+  bool typeName(std::string &Out) {
+    if (!ident(Out, "(type name)"))
+      return false;
+    while (at(TokKind::LBracket) && peek().Kind == TokKind::RBracket) {
+      advance();
+      advance();
+      Out += "[]";
+    }
+    return true;
+  }
+
+  bool parseClass() {
+    if (!expect(TokKind::KwClass, "to start a class declaration"))
+      return false;
+    std::string Name;
+    if (!ident(Name, "(class name)"))
+      return false;
+    std::string Super = "Object";
+    if (at(TokKind::KwExtends)) {
+      advance();
+      if (!ident(Super, "(superclass name)"))
+        return false;
+    }
+    Builder.declClass(Name, Super);
+    if (!expect(TokKind::LBrace, "to open the class body"))
+      return false;
+    while (!at(TokKind::RBrace)) {
+      if (at(TokKind::Eof))
+        return error("unterminated class body of '" + Name + "'");
+      if (!parseMember(Name))
+        return false;
+    }
+    advance(); // '}'
+    return true;
+  }
+
+  bool parseMember(const std::string &Class) {
+    bool IsStatic = false, IsAbstract = false;
+    if (at(TokKind::KwStatic)) {
+      IsStatic = true;
+      advance();
+    }
+    if (at(TokKind::KwAbstract)) {
+      IsAbstract = true;
+      advance();
+    }
+    if (at(TokKind::KwField)) {
+      if (IsAbstract)
+        return error("fields cannot be abstract");
+      advance();
+      std::string Name, Type;
+      if (!ident(Name, "(field name)") ||
+          !expect(TokKind::Colon, "after the field name") ||
+          !typeName(Type) || !expect(TokKind::Semi, "after the field type"))
+        return false;
+      if (IsStatic)
+        Builder.declStaticField(Class, Name, Type);
+      else
+        Builder.declField(Class, Name, Type);
+      return true;
+    }
+    if (!at(TokKind::KwMethod))
+      return error("expected 'field' or 'method' in class body");
+    advance();
+    std::string Name;
+    if (!ident(Name, "(method name)") ||
+        !expect(TokKind::LParen, "after the method name"))
+      return false;
+    std::vector<std::string> Params;
+    if (!at(TokKind::RParen)) {
+      for (;;) {
+        std::string Param;
+        if (!ident(Param, "(parameter name)"))
+          return false;
+        if (at(TokKind::Colon)) { // optional, ignored type annotation
+          advance();
+          std::string Ignored;
+          if (!typeName(Ignored))
+            return false;
+        }
+        Params.push_back(std::move(Param));
+        if (!at(TokKind::Comma))
+          break;
+        advance();
+      }
+    }
+    if (!expect(TokKind::RParen, "after the parameter list"))
+      return false;
+    if (at(TokKind::Colon)) { // optional, ignored return type annotation
+      advance();
+      std::string Ignored;
+      if (!typeName(Ignored))
+        return false;
+    }
+    if (IsAbstract) {
+      if (IsStatic)
+        return error("a method cannot be both static and abstract");
+      if (!expect(TokKind::Semi, "after an abstract method declaration"))
+        return false;
+      Builder.abstractMethod(Class, Name, std::move(Params));
+      return true;
+    }
+    if (!expect(TokKind::LBrace, "to open the method body"))
+      return false;
+    MethodBuilder &MB = Builder.method(Class, Name, Params, IsStatic);
+    while (!at(TokKind::RBrace)) {
+      if (at(TokKind::Eof))
+        return error("unterminated method body of '" + Name + "'");
+      if (!parseStmt(MB))
+        return false;
+    }
+    advance(); // '}'
+    return true;
+  }
+
+  /// args := IDENT ("," IDENT)* — the '(' has been consumed; consumes ')'.
+  bool argList(std::vector<std::string> &Args) {
+    if (!at(TokKind::RParen)) {
+      for (;;) {
+        std::string Arg;
+        if (!ident(Arg, "(argument)"))
+          return false;
+        Args.push_back(std::move(Arg));
+        if (!at(TokKind::Comma))
+          break;
+        advance();
+      }
+    }
+    return expect(TokKind::RParen, "to close the argument list");
+  }
+
+  /// special IDENT "." IDENT "::" IDENT "(" args ")" — 'special' consumed.
+  bool specialCallTail(MethodBuilder &MB, std::string To) {
+    std::string Base, Class, Name;
+    if (!ident(Base, "(receiver)") ||
+        !expect(TokKind::Dot, "after the receiver") ||
+        !ident(Class, "(class of special call)") ||
+        !expect(TokKind::ColonColon, "in special call") ||
+        !ident(Name, "(method of special call)") ||
+        !expect(TokKind::LParen, "to open the argument list"))
+      return false;
+    std::vector<std::string> Args;
+    if (!argList(Args))
+      return false;
+    MB.specialcall(std::move(To), Base, Class, Name, std::move(Args));
+    return true;
+  }
+
+  /// Parses the right-hand side of "To = ..." and emits the statement.
+  bool parseRvalue(MethodBuilder &MB, std::string To) {
+    if (at(TokKind::KwCatch)) { // To = catch Type
+      advance();
+      std::string Type;
+      if (!typeName(Type))
+        return false;
+      MB.catchType(std::move(To), Type);
+      return true;
+    }
+    if (at(TokKind::KwNew)) {
+      advance();
+      std::string Type;
+      if (!typeName(Type))
+        return false;
+      MB.alloc(std::move(To), Type);
+      return true;
+    }
+    if (at(TokKind::KwNull)) {
+      advance();
+      MB.assignNull(std::move(To));
+      return true;
+    }
+    if (at(TokKind::KwSpecial)) {
+      advance();
+      return specialCallTail(MB, std::move(To));
+    }
+    if (at(TokKind::LParen)) { // cast
+      advance();
+      std::string Type, From;
+      if (!typeName(Type) || !expect(TokKind::RParen, "to close the cast") ||
+          !ident(From, "(cast operand)"))
+        return false;
+      MB.cast(std::move(To), Type, From);
+      return true;
+    }
+    std::string First;
+    if (!ident(First, "(rvalue)"))
+      return false;
+    if (at(TokKind::Dot)) {
+      advance();
+      std::string Second;
+      if (!ident(Second, "(member)"))
+        return false;
+      if (at(TokKind::LParen)) { // virtual call
+        advance();
+        std::vector<std::string> Args;
+        if (!argList(Args))
+          return false;
+        MB.vcall(std::move(To), First, Second, std::move(Args));
+        return true;
+      }
+      if (at(TokKind::ColonColon)) { // qualified field: base.Class::f
+        advance();
+        std::string FieldName;
+        if (!ident(FieldName, "(field)"))
+          return false;
+        MB.load(std::move(To), First, Second + "::" + FieldName);
+        return true;
+      }
+      MB.load(std::move(To), First, Second);
+      return true;
+    }
+    if (at(TokKind::LBracket)) { // array load: x = y[]
+      advance();
+      if (!expect(TokKind::RBracket, "in array access"))
+        return false;
+      MB.load(std::move(To), First, "[]");
+      return true;
+    }
+    if (at(TokKind::ColonColon)) { // static load or static call
+      advance();
+      std::string Second;
+      if (!ident(Second, "(static member)"))
+        return false;
+      if (at(TokKind::LParen)) {
+        advance();
+        std::vector<std::string> Args;
+        if (!argList(Args))
+          return false;
+        MB.scall(std::move(To), First, Second, std::move(Args));
+        return true;
+      }
+      MB.staticLoad(std::move(To), First, Second);
+      return true;
+    }
+    MB.copy(std::move(To), First); // plain copy
+    return true;
+  }
+
+  bool parseStmt(MethodBuilder &MB) {
+    if (at(TokKind::KwReturn)) {
+      advance();
+      std::string From;
+      if (!ident(From, "(return value)"))
+        return false;
+      MB.ret(From);
+      return expect(TokKind::Semi, "after the return statement");
+    }
+    if (at(TokKind::KwThrow)) {
+      advance();
+      std::string From;
+      if (!ident(From, "(thrown value)"))
+        return false;
+      MB.throwVar(From);
+      return expect(TokKind::Semi, "after the throw statement");
+    }
+    if (at(TokKind::KwSpecial)) { // result-less special call
+      advance();
+      if (!specialCallTail(MB, ""))
+        return false;
+      return expect(TokKind::Semi, "after the call");
+    }
+    std::string First;
+    if (!ident(First, "(statement)"))
+      return false;
+    if (at(TokKind::Eq)) {
+      advance();
+      if (!parseRvalue(MB, First))
+        return false;
+      return expect(TokKind::Semi, "after the statement");
+    }
+    if (at(TokKind::Dot)) {
+      advance();
+      std::string Second;
+      if (!ident(Second, "(member)"))
+        return false;
+      if (at(TokKind::LParen)) { // virtual call, result dropped
+        advance();
+        std::vector<std::string> Args;
+        if (!argList(Args))
+          return false;
+        MB.vcall("", First, Second, std::move(Args));
+        return expect(TokKind::Semi, "after the call");
+      }
+      std::string FieldRef = Second;
+      if (at(TokKind::ColonColon)) { // qualified store: base.Class::f = x
+        advance();
+        std::string FieldName;
+        if (!ident(FieldName, "(field)"))
+          return false;
+        FieldRef = Second + "::" + FieldName;
+      }
+      std::string From;
+      if (!expect(TokKind::Eq, "in field store") ||
+          !ident(From, "(stored value)"))
+        return false;
+      MB.store(First, FieldRef, From);
+      return expect(TokKind::Semi, "after the store");
+    }
+    if (at(TokKind::LBracket)) { // array store: x[] = y
+      advance();
+      std::string From;
+      if (!expect(TokKind::RBracket, "in array access") ||
+          !expect(TokKind::Eq, "in array store") ||
+          !ident(From, "(stored value)"))
+        return false;
+      MB.store(First, "[]", From);
+      return expect(TokKind::Semi, "after the store");
+    }
+    if (at(TokKind::ColonColon)) { // static store or call
+      advance();
+      std::string Second;
+      if (!ident(Second, "(static member)"))
+        return false;
+      if (at(TokKind::LParen)) {
+        advance();
+        std::vector<std::string> Args;
+        if (!argList(Args))
+          return false;
+        MB.scall("", First, Second, std::move(Args));
+        return expect(TokKind::Semi, "after the call");
+      }
+      std::string From;
+      if (!expect(TokKind::Eq, "in static store") ||
+          !ident(From, "(stored value)"))
+        return false;
+      MB.staticStore(First, Second, From);
+      return expect(TokKind::Semi, "after the store");
+    }
+    return error("malformed statement starting with '" + First + "'");
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::string &Err;
+  ProgramBuilder Builder;
+};
+
+} // namespace
+
+std::unique_ptr<Program> mahjong::ir::parseProgram(std::string_view Source,
+                                                   std::string &Err) {
+  return Parser(Source, Err).run();
+}

@@ -1,0 +1,62 @@
+//===-- ir/Parser.h - Parser for the .mj language -------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the .mj textual IR. The grammar:
+///
+/// \code
+///   program    := classDecl*
+///   classDecl  := "class" IDENT ("extends" IDENT)? "{" member* "}"
+///   member     := ("static")? "field" IDENT ":" type ";"
+///               | ("static")? "method" IDENT "(" params? ")" (":" type)? body
+///               | "abstract" "method" IDENT "(" params? ")" (":" type)? ";"
+///   params     := IDENT (":" type)? ("," IDENT (":" type)?)*
+///   body       := "{" stmt* "}"
+///   type       := IDENT ("[" "]")*
+///   stmt       := "return" IDENT ";"
+///               | "special" IDENT "." IDENT "::" IDENT "(" args? ")" ";"
+///               | IDENT stmtTail ";"
+///   stmtTail   := "=" rvalue                    // var assignment
+///               | "." fieldRef "=" IDENT        // instance store
+///               | "." IDENT "(" args? ")"       // virtual call, no result
+///               | "[" "]" "=" IDENT             // array store
+///               | "::" IDENT "=" IDENT          // static store
+///               | "::" IDENT "(" args? ")"      // static call, no result
+///   rvalue     := "new" type | "null" | "(" type ")" IDENT
+///               | "special" IDENT "." IDENT "::" IDENT "(" args? ")"
+///               | IDENT | IDENT "." fieldRef | IDENT "." IDENT "(" args? ")"
+///               | IDENT "[" "]"
+///               | IDENT "::" IDENT | IDENT "::" IDENT "(" args? ")"
+///   fieldRef   := IDENT ("::" IDENT)?           // f, or Class::f qualified
+/// \endcode
+///
+/// Type annotations on params/returns are accepted and ignored (the IR is
+/// untyped at variables). The entry point is the unique static,
+/// parameterless method named "main".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_PARSER_H
+#define MAHJONG_IR_PARSER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mahjong::ir {
+
+/// Parses \p Source into a Program.
+///
+/// \returns the program, or null with a "line:col: message" diagnostic
+/// stored in \p Err.
+std::unique_ptr<Program> parseProgram(std::string_view Source,
+                                      std::string &Err);
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_PARSER_H

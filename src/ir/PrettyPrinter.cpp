@@ -1,0 +1,146 @@
+//===-- ir/PrettyPrinter.cpp - Dump a Program as .mj text ------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PrettyPrinter.h"
+
+#include <sstream>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+static std::string varName(const Program &P, VarId V) {
+  return P.var(V).Name;
+}
+
+/// Renders a field operand: the global array-element field prints as "[]"
+/// (handled by the caller), everything else as "Class::name" so the result
+/// reparses unambiguously.
+static std::string fieldRef(const Program &P, FieldId F) {
+  const FieldInfo &FI = P.field(F);
+  return P.type(FI.Declaring).Name + "::" + FI.Name;
+}
+
+std::string mahjong::ir::printStmt(const Program &P, const Stmt &S) {
+  std::ostringstream OS;
+  switch (S.Kind) {
+  case StmtKind::Alloc:
+    OS << varName(P, S.To) << " = new " << P.type(P.obj(S.Obj).Type).Name
+       << ";";
+    break;
+  case StmtKind::Copy:
+    OS << varName(P, S.To) << " = " << varName(P, S.From) << ";";
+    break;
+  case StmtKind::AssignNull:
+    OS << varName(P, S.To) << " = null;";
+    break;
+  case StmtKind::Load:
+    if (P.field(S.Field).Name == "[]")
+      OS << varName(P, S.To) << " = " << varName(P, S.Base) << "[];";
+    else
+      OS << varName(P, S.To) << " = " << varName(P, S.Base) << "."
+         << fieldRef(P, S.Field) << ";";
+    break;
+  case StmtKind::Store:
+    if (P.field(S.Field).Name == "[]")
+      OS << varName(P, S.Base) << "[] = " << varName(P, S.From) << ";";
+    else
+      OS << varName(P, S.Base) << "." << fieldRef(P, S.Field) << " = "
+         << varName(P, S.From) << ";";
+    break;
+  case StmtKind::StaticLoad:
+    OS << varName(P, S.To) << " = " << P.type(P.field(S.Field).Declaring).Name
+       << "::" << P.field(S.Field).Name << ";";
+    break;
+  case StmtKind::StaticStore:
+    OS << P.type(P.field(S.Field).Declaring).Name
+       << "::" << P.field(S.Field).Name << " = " << varName(P, S.From) << ";";
+    break;
+  case StmtKind::Cast: {
+    const CastSiteInfo &CS = P.castSite(S.CastIdx);
+    OS << varName(P, CS.To) << " = (" << P.type(CS.Target).Name << ") "
+       << varName(P, CS.From) << ";";
+    break;
+  }
+  case StmtKind::Invoke: {
+    const CallSiteInfo &CS = P.callSite(S.Site);
+    if (CS.Result.isValid())
+      OS << varName(P, CS.Result) << " = ";
+    if (CS.Kind == CallKind::Virtual) {
+      std::string Name = CS.Sig.substr(0, CS.Sig.find('/'));
+      OS << varName(P, CS.Base) << "." << Name;
+    } else if (CS.Kind == CallKind::Static) {
+      const MethodInfo &Callee = P.method(CS.Direct);
+      OS << P.type(Callee.Declaring).Name << "::" << Callee.Name;
+    } else {
+      const MethodInfo &Callee = P.method(CS.Direct);
+      OS << "special " << varName(P, CS.Base) << "."
+         << P.type(Callee.Declaring).Name << "::" << Callee.Name;
+    }
+    OS << "(";
+    for (size_t I = 0; I < CS.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << varName(P, CS.Args[I]);
+    }
+    OS << ");";
+    break;
+  }
+  case StmtKind::Return:
+    OS << "return " << varName(P, S.From) << ";";
+    break;
+  case StmtKind::Throw:
+    OS << "throw " << varName(P, S.From) << ";";
+    break;
+  case StmtKind::Catch:
+    OS << varName(P, S.To) << " = catch " << P.type(S.Type).Name << ";";
+    break;
+  }
+  return OS.str();
+}
+
+std::string mahjong::ir::printProgram(const Program &P) {
+  std::ostringstream OS;
+  for (uint32_t TIdx = 0; TIdx < P.numTypes(); ++TIdx) {
+    TypeId T = TypeId(TIdx);
+    const TypeInfo &TI = P.type(T);
+    if (TI.Kind != TypeKind::Class || T == P.objectType())
+      continue;
+    OS << "class " << TI.Name;
+    if (TI.Super != P.objectType())
+      OS << " extends " << P.type(TI.Super).Name;
+    OS << " {\n";
+    for (FieldId F : TI.Fields) {
+      const FieldInfo &FI = P.field(F);
+      OS << "  " << (FI.IsStatic ? "static field " : "field ") << FI.Name
+         << ": " << P.type(FI.DeclaredType).Name << ";\n";
+    }
+    for (MethodId M : TI.Methods) {
+      const MethodInfo &MI = P.method(M);
+      OS << "  ";
+      if (MI.IsStatic)
+        OS << "static ";
+      if (MI.IsAbstract)
+        OS << "abstract ";
+      OS << "method " << MI.Name << "(";
+      for (size_t I = 0; I < MI.Params.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << P.var(MI.Params[I]).Name;
+      }
+      OS << ")";
+      if (MI.IsAbstract) {
+        OS << ";\n";
+        continue;
+      }
+      OS << " {\n";
+      for (const Stmt &S : MI.Body)
+        OS << "    " << printStmt(P, S) << "\n";
+      OS << "  }\n";
+    }
+    OS << "}\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,30 @@
+//===-- ir/PrettyPrinter.h - Dump a Program as .mj text -------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a Program back to the .mj textual language, producing input
+/// that the parser accepts again (round-trip property exercised in tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_PRETTYPRINTER_H
+#define MAHJONG_IR_PRETTYPRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace mahjong::ir {
+
+/// Renders the whole program as .mj source text.
+std::string printProgram(const Program &P);
+
+/// Renders a single statement of \p M as one line of .mj (no indentation).
+std::string printStmt(const Program &P, const Stmt &S);
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_PRETTYPRINTER_H

@@ -1,0 +1,47 @@
+//===-- ir/Program.cpp - Whole-program IR arena ----------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+TypeId Program::typeByName(std::string_view Name) const {
+  auto It = TypeByName.find(std::string(Name));
+  return It == TypeByName.end() ? TypeId::invalid() : It->second;
+}
+
+FieldId Program::findField(TypeId Class, std::string_view Name) const {
+  for (TypeId T = Class; T.isValid(); T = type(T).Super) {
+    for (FieldId F : type(T).Fields)
+      if (!field(F).IsStatic && field(F).Name == Name)
+        return F;
+  }
+  return FieldId::invalid();
+}
+
+std::vector<FieldId> Program::allInstanceFields(TypeId Class) const {
+  std::vector<FieldId> Result;
+  for (TypeId T = Class; T.isValid(); T = type(T).Super)
+    for (FieldId F : type(T).Fields)
+      if (!field(F).IsStatic)
+        Result.push_back(F);
+  return Result;
+}
+
+MethodId Program::methodBySignature(std::string_view Sig) const {
+  auto It = MethodBySig.find(std::string(Sig));
+  return It == MethodBySig.end() ? MethodId::invalid() : It->second;
+}
+
+std::string Program::describeObj(ObjId Id) const {
+  const ObjInfo &O = obj(Id);
+  std::string S = "o" + std::to_string(Id.idx()) + "<" + type(O.Type).Name +
+                  ">";
+  if (O.Method.isValid())
+    S += "@" + method(O.Method).Signature;
+  return S;
+}

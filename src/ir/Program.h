@@ -1,0 +1,105 @@
+//===-- ir/Program.h - Whole-program IR arena -----------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Program owns every IR entity (types, fields, methods, variables,
+/// allocation sites, call sites, cast sites) in dense arenas and provides
+/// name-based lookup. A Program is immutable once built by ProgramBuilder
+/// or the parser; all analyses take a const reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_PROGRAM_H
+#define MAHJONG_IR_PROGRAM_H
+
+#include "ir/Entities.h"
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mahjong::ir {
+
+class ProgramBuilder;
+
+/// Immutable whole-program IR.
+///
+/// Reserved entities: object #0 is the dummy null object o_null of the
+/// null type (used for explicit null assignments and for never-written
+/// fields in the field points-to graph, per paper section 4.1).
+class Program {
+public:
+  // --- Types ---
+  const TypeInfo &type(TypeId Id) const { return Types[Id.idx()]; }
+  uint32_t numTypes() const { return static_cast<uint32_t>(Types.size()); }
+  TypeId typeByName(std::string_view Name) const;
+  TypeId objectType() const { return ObjectTy; }
+  TypeId nullType() const { return NullTy; }
+
+  // --- Fields ---
+  const FieldInfo &field(FieldId Id) const { return Fields[Id.idx()]; }
+  uint32_t numFields() const { return static_cast<uint32_t>(Fields.size()); }
+  /// Looks up an instance field by name in \p Class or its superclasses.
+  FieldId findField(TypeId Class, std::string_view Name) const;
+  /// All instance fields of \p Class including inherited ones.
+  std::vector<FieldId> allInstanceFields(TypeId Class) const;
+
+  // --- Methods ---
+  const MethodInfo &method(MethodId Id) const { return Methods[Id.idx()]; }
+  uint32_t numMethods() const { return static_cast<uint32_t>(Methods.size()); }
+  MethodId methodBySignature(std::string_view Sig) const;
+  MethodId entryMethod() const { return Entry; }
+
+  // --- Variables ---
+  const VarInfo &var(VarId Id) const { return Vars[Id.idx()]; }
+  uint32_t numVars() const { return static_cast<uint32_t>(Vars.size()); }
+
+  // --- Objects (allocation sites) ---
+  const ObjInfo &obj(ObjId Id) const { return Objs[Id.idx()]; }
+  uint32_t numObjs() const { return static_cast<uint32_t>(Objs.size()); }
+  static constexpr ObjId nullObj() { return ObjId(0); }
+  bool isNullObj(ObjId Id) const { return Id == nullObj(); }
+
+  // --- Call / cast sites ---
+  const CallSiteInfo &callSite(CallSiteId Id) const {
+    return CallSites[Id.idx()];
+  }
+  uint32_t numCallSites() const {
+    return static_cast<uint32_t>(CallSites.size());
+  }
+  const CastSiteInfo &castSite(uint32_t Idx) const { return CastSites[Idx]; }
+  uint32_t numCastSites() const {
+    return static_cast<uint32_t>(CastSites.size());
+  }
+
+  /// Human-readable description of an object, e.g. "o17<A>@Main.main/2".
+  std::string describeObj(ObjId Id) const;
+
+private:
+  friend class ProgramBuilder;
+  Program() = default;
+
+  std::vector<TypeInfo> Types;
+  std::vector<FieldInfo> Fields;
+  std::vector<MethodInfo> Methods;
+  std::vector<VarInfo> Vars;
+  std::vector<ObjInfo> Objs;
+  std::vector<CallSiteInfo> CallSites;
+  std::vector<CastSiteInfo> CastSites;
+
+  std::unordered_map<std::string, TypeId> TypeByName;
+  std::unordered_map<std::string, MethodId> MethodBySig;
+
+  TypeId ObjectTy;
+  TypeId NullTy;
+  MethodId Entry;
+};
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_PROGRAM_H

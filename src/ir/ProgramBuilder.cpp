@@ -1,0 +1,597 @@
+//===-- ir/ProgramBuilder.cpp - Name-based IR construction -----------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+//===----------------------------------------------------------------------===//
+// MethodBuilder
+//===----------------------------------------------------------------------===//
+
+MethodBuilder &MethodBuilder::alloc(std::string To, std::string Type) {
+  RawStmt S;
+  S.Kind = StmtKind::Alloc;
+  S.A = std::move(To);
+  S.B = std::move(Type);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::copy(std::string To, std::string From) {
+  RawStmt S;
+  S.Kind = StmtKind::Copy;
+  S.A = std::move(To);
+  S.B = std::move(From);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::assignNull(std::string To) {
+  RawStmt S;
+  S.Kind = StmtKind::AssignNull;
+  S.A = std::move(To);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::load(std::string To, std::string Base,
+                                   std::string Field) {
+  RawStmt S;
+  S.Kind = StmtKind::Load;
+  S.A = std::move(To);
+  S.B = std::move(Base);
+  S.C = std::move(Field);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::store(std::string Base, std::string Field,
+                                    std::string From) {
+  RawStmt S;
+  S.Kind = StmtKind::Store;
+  S.A = std::move(Base);
+  S.B = std::move(Field);
+  S.C = std::move(From);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::staticLoad(std::string To, std::string Class,
+                                         std::string Field) {
+  RawStmt S;
+  S.Kind = StmtKind::StaticLoad;
+  S.A = std::move(To);
+  S.B = std::move(Class);
+  S.C = std::move(Field);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::staticStore(std::string Class, std::string Field,
+                                          std::string From) {
+  RawStmt S;
+  S.Kind = StmtKind::StaticStore;
+  S.A = std::move(Class);
+  S.B = std::move(Field);
+  S.C = std::move(From);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::cast(std::string To, std::string Type,
+                                   std::string From) {
+  RawStmt S;
+  S.Kind = StmtKind::Cast;
+  S.A = std::move(To);
+  S.B = std::move(Type);
+  S.C = std::move(From);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::vcall(std::string To, std::string Base,
+                                    std::string Name,
+                                    std::vector<std::string> Args) {
+  RawStmt S;
+  S.Kind = StmtKind::Invoke;
+  S.Call = CallKind::Virtual;
+  S.A = std::move(To);
+  S.B = std::move(Base);
+  S.C = std::move(Name);
+  S.Args = std::move(Args);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::scall(std::string To, std::string Class,
+                                    std::string Name,
+                                    std::vector<std::string> Args) {
+  RawStmt S;
+  S.Kind = StmtKind::Invoke;
+  S.Call = CallKind::Static;
+  S.A = std::move(To);
+  S.B = std::move(Class);
+  S.C = std::move(Name);
+  S.Args = std::move(Args);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::specialcall(std::string To, std::string Base,
+                                          std::string Class, std::string Name,
+                                          std::vector<std::string> Args) {
+  RawStmt S;
+  S.Kind = StmtKind::Invoke;
+  S.Call = CallKind::Special;
+  S.A = std::move(To);
+  S.B = std::move(Base);
+  S.C = std::move(Name);
+  S.D = std::move(Class);
+  S.Args = std::move(Args);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::ret(std::string From) {
+  RawStmt S;
+  S.Kind = StmtKind::Return;
+  S.A = std::move(From);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::throwVar(std::string From) {
+  RawStmt S;
+  S.Kind = StmtKind::Throw;
+  S.A = std::move(From);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::catchType(std::string To, std::string Type) {
+  RawStmt S;
+  S.Kind = StmtKind::Catch;
+  S.A = std::move(To);
+  S.B = std::move(Type);
+  Body.push_back(std::move(S));
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+ProgramBuilder::ProgramBuilder() = default;
+
+ProgramBuilder &ProgramBuilder::declClass(std::string Name,
+                                          std::string Super) {
+  RawClasses.emplace_back(std::move(Name), std::move(Super));
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::declField(std::string Class, std::string Name,
+                                          std::string Type) {
+  RawFields.push_back(
+      {std::move(Class), std::move(Name), std::move(Type), false});
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::declStaticField(std::string Class,
+                                                std::string Name,
+                                                std::string Type) {
+  RawFields.push_back(
+      {std::move(Class), std::move(Name), std::move(Type), true});
+  return *this;
+}
+
+MethodBuilder &ProgramBuilder::method(std::string Class, std::string Name,
+                                      std::vector<std::string> Params,
+                                      bool IsStatic) {
+  auto MB = std::make_unique<MethodBuilder>();
+  MB->Class = std::move(Class);
+  MB->Name = std::move(Name);
+  MB->Params = std::move(Params);
+  MB->IsStatic = IsStatic;
+  RawMethods.push_back(std::move(MB));
+  return *RawMethods.back();
+}
+
+ProgramBuilder &ProgramBuilder::abstractMethod(std::string Class,
+                                               std::string Name,
+                                               std::vector<std::string> Params) {
+  auto MB = std::make_unique<MethodBuilder>();
+  MB->Class = std::move(Class);
+  MB->Name = std::move(Name);
+  MB->Params = std::move(Params);
+  MB->IsAbstract = true;
+  RawMethods.push_back(std::move(MB));
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::setEntry(std::string Class, std::string Name) {
+  EntryClass = std::move(Class);
+  EntryName = std::move(Name);
+  return *this;
+}
+
+/// Registers (or finds) the type named \p Name. Array types "E[]" are
+/// created on demand, sharing one global "[]" element field.
+TypeId ProgramBuilder::ensureType(Program &P, const std::string &Name,
+                                  std::string &Err) {
+  if (TypeId Existing = P.typeByName(Name); Existing.isValid())
+    return Existing;
+  if (Name.size() > 2 && Name.ends_with("[]")) {
+    TypeId Elem = ensureType(P, Name.substr(0, Name.size() - 2), Err);
+    if (!Elem.isValid())
+      return TypeId::invalid();
+    TypeId Arr = TypeId(static_cast<uint32_t>(P.Types.size()));
+    TypeInfo TI;
+    TI.Name = Name;
+    TI.Kind = TypeKind::Array;
+    TI.Super = P.ObjectTy;
+    TI.Elem = Elem;
+    // All array types share the single global element field "[]" so that
+    // array accesses resolve without static typing of the base.
+    FieldId ElemField;
+    for (uint32_t I = 0; I < P.numFields(); ++I)
+      if (P.Fields[I].Name == "[]") {
+        ElemField = FieldId(I);
+        break;
+      }
+    if (!ElemField.isValid()) {
+      ElemField = FieldId(static_cast<uint32_t>(P.Fields.size()));
+      P.Fields.push_back({"[]", Arr, P.ObjectTy, false});
+    }
+    TI.Fields.push_back(ElemField);
+    P.Types.push_back(std::move(TI));
+    P.TypeByName.emplace(Name, Arr);
+    return Arr;
+  }
+  Err = "unknown type '" + Name + "'";
+  return TypeId::invalid();
+}
+
+/// Resolves a field reference appearing in a body: "Class::name" qualified,
+/// or a bare name that must be unique among instance fields, or "[]".
+FieldId ProgramBuilder::resolveFieldRef(Program &P, TypeId /*ArrayHint*/,
+                                        const std::string &Ref,
+                                        std::string &Err) {
+  if (auto Pos = Ref.find("::"); Pos != std::string::npos) {
+    std::string Cls = Ref.substr(0, Pos), Name = Ref.substr(Pos + 2);
+    TypeId T = P.typeByName(Cls);
+    if (!T.isValid()) {
+      Err = "unknown class '" + Cls + "' in field reference '" + Ref + "'";
+      return FieldId::invalid();
+    }
+    FieldId F = P.findField(T, Name);
+    if (!F.isValid())
+      Err = "class '" + Cls + "' has no instance field '" + Name + "'";
+    return F;
+  }
+  FieldId Found;
+  bool Ambiguous = false;
+  for (uint32_t I = 0; I < P.numFields(); ++I) {
+    const FieldInfo &FI = P.Fields[I];
+    if (FI.IsStatic || FI.Name != Ref)
+      continue;
+    if (Found.isValid())
+      Ambiguous = true;
+    Found = FieldId(I);
+  }
+  if (!Found.isValid())
+    Err = "unknown instance field '" + Ref + "'";
+  else if (Ambiguous)
+    Err = "ambiguous instance field '" + Ref + "'; qualify as Class::" + Ref;
+  return Ambiguous ? FieldId::invalid() : Found;
+}
+
+std::unique_ptr<Program> ProgramBuilder::finish(std::string &Err) {
+  Err.clear();
+  std::unique_ptr<Program> Owner(new Program());
+  Program &P = *Owner;
+
+  // --- Reserved types: Object (id 0) and null (id 1). ---
+  P.Types.push_back({"Object", TypeKind::Class, TypeId::invalid(),
+                     TypeId::invalid(), {}, {}});
+  P.ObjectTy = TypeId(0);
+  P.TypeByName.emplace("Object", P.ObjectTy);
+  P.Types.push_back({"null", TypeKind::Null, TypeId::invalid(),
+                     TypeId::invalid(), {}, {}});
+  P.NullTy = TypeId(1);
+  P.TypeByName.emplace("null", P.NullTy);
+
+  // --- Reserved object: o_null (id 0). ---
+  P.Objs.push_back({P.NullTy, MethodId::invalid(), "null"});
+
+  // --- Classes. ---
+  for (auto &[Name, Super] : RawClasses) {
+    if (P.typeByName(Name).isValid()) {
+      Err = "duplicate class '" + Name + "'";
+      return nullptr;
+    }
+    TypeId Id = TypeId(static_cast<uint32_t>(P.Types.size()));
+    P.Types.push_back(
+        {Name, TypeKind::Class, TypeId::invalid(), TypeId::invalid(), {}, {}});
+    P.TypeByName.emplace(Name, Id);
+  }
+  // Resolve superclasses (second pass so forward references work).
+  for (auto &[Name, Super] : RawClasses) {
+    TypeId Id = P.typeByName(Name);
+    TypeId SuperId = P.typeByName(Super);
+    if (!SuperId.isValid()) {
+      Err = "class '" + Name + "' extends unknown class '" + Super + "'";
+      return nullptr;
+    }
+    P.Types[Id.idx()].Super = SuperId;
+  }
+  // Reject inheritance cycles.
+  for (uint32_t I = 0; I < P.numTypes(); ++I) {
+    TypeId Slow = TypeId(I), Fast = TypeId(I);
+    for (;;) {
+      Fast = P.type(Fast).Super;
+      if (!Fast.isValid())
+        break;
+      Fast = P.type(Fast).Super;
+      if (!Fast.isValid())
+        break;
+      Slow = P.type(Slow).Super;
+      if (Slow == Fast) {
+        Err = "inheritance cycle involving class '" + P.type(Slow).Name + "'";
+        return nullptr;
+      }
+    }
+  }
+
+  // --- Fields. ---
+  for (const RawField &RF : RawFields) {
+    TypeId Cls = P.typeByName(RF.Class);
+    if (!Cls.isValid() || P.type(Cls).Kind != TypeKind::Class) {
+      Err = "field '" + RF.Name + "' declared in unknown class '" + RF.Class +
+            "'";
+      return nullptr;
+    }
+    TypeId FT = ensureType(P, RF.Type, Err);
+    if (!FT.isValid())
+      return nullptr;
+    for (FieldId Existing : P.type(Cls).Fields)
+      if (P.field(Existing).Name == RF.Name) {
+        Err = "duplicate field '" + RF.Name + "' in class '" + RF.Class + "'";
+        return nullptr;
+      }
+    FieldId Id = FieldId(static_cast<uint32_t>(P.Fields.size()));
+    P.Fields.push_back({RF.Name, Cls, FT, RF.IsStatic});
+    P.Types[Cls.idx()].Fields.push_back(Id);
+  }
+
+  // --- Method shells (so call resolution sees every signature). ---
+  for (auto &MBPtr : RawMethods) {
+    MethodBuilder &MB = *MBPtr;
+    TypeId Cls = P.typeByName(MB.Class);
+    if (!Cls.isValid() || P.type(Cls).Kind != TypeKind::Class) {
+      Err = "method '" + MB.Name + "' declared in unknown class '" + MB.Class +
+            "'";
+      return nullptr;
+    }
+    std::string Arity = std::to_string(MB.Params.size());
+    MethodInfo MI;
+    MI.Name = MB.Name;
+    MI.Signature = MB.Class + "." + MB.Name + "/" + Arity;
+    MI.DispatchSig = MB.Name + "/" + Arity;
+    MI.Declaring = Cls;
+    MI.IsStatic = MB.IsStatic;
+    MI.IsAbstract = MB.IsAbstract;
+    if (P.MethodBySig.count(MI.Signature)) {
+      Err = "duplicate method '" + MI.Signature + "'";
+      return nullptr;
+    }
+    MethodId Id = MethodId(static_cast<uint32_t>(P.Methods.size()));
+    P.MethodBySig.emplace(MI.Signature, Id);
+    P.Types[Cls.idx()].Methods.push_back(Id);
+    P.Methods.push_back(std::move(MI));
+  }
+
+  // --- Method bodies. ---
+  for (uint32_t MIdx = 0; MIdx < RawMethods.size(); ++MIdx) {
+    MethodBuilder &MB = *RawMethods[MIdx];
+    MethodId MId = MethodId(MIdx);
+    MethodInfo &MI = P.Methods[MIdx];
+
+    std::unordered_map<std::string, VarId> Locals;
+    auto VarOf = [&](const std::string &Name) {
+      auto [It, Inserted] = Locals.try_emplace(
+          Name, VarId(static_cast<uint32_t>(P.Vars.size())));
+      if (Inserted)
+        P.Vars.push_back({Name, MId});
+      return It->second;
+    };
+
+    if (!MI.IsStatic)
+      MI.This = VarOf("this");
+    for (const std::string &Param : MB.Params)
+      MI.Params.push_back(VarOf(Param));
+    MI.Ret = VarOf("$ret");
+    MI.Exc = VarOf("$exc");
+    if (MB.IsAbstract)
+      continue;
+
+    // Resolves a direct callee "Class.name/arity", walking up superclasses.
+    auto ResolveDirect = [&](const std::string &Cls, const std::string &Name,
+                             size_t Arity) -> MethodId {
+      TypeId T = P.typeByName(Cls);
+      std::string Tail = "." + Name + "/" + std::to_string(Arity);
+      while (T.isValid()) {
+        MethodId M = P.methodBySignature(P.type(T).Name + Tail);
+        if (M.isValid())
+          return M;
+        T = P.type(T).Super;
+      }
+      return MethodId::invalid();
+    };
+
+    for (const MethodBuilder::RawStmt &RS : MB.Body) {
+      Stmt S;
+      S.Kind = RS.Kind;
+      switch (RS.Kind) {
+      case StmtKind::Alloc: {
+        S.To = VarOf(RS.A);
+        TypeId T = ensureType(P, RS.B, Err);
+        if (!T.isValid())
+          return nullptr;
+        if (P.type(T).Kind == TypeKind::Null) {
+          Err = "cannot allocate the null type";
+          return nullptr;
+        }
+        S.Obj = ObjId(static_cast<uint32_t>(P.Objs.size()));
+        P.Objs.push_back({T, MId, RS.A});
+        break;
+      }
+      case StmtKind::Copy:
+        S.To = VarOf(RS.A);
+        S.From = VarOf(RS.B);
+        break;
+      case StmtKind::AssignNull:
+        S.To = VarOf(RS.A);
+        break;
+      case StmtKind::Load: {
+        S.To = VarOf(RS.A);
+        S.Base = VarOf(RS.B);
+        S.Field = resolveFieldRef(P, TypeId::invalid(), RS.C, Err);
+        if (!S.Field.isValid())
+          return nullptr;
+        break;
+      }
+      case StmtKind::Store: {
+        S.Base = VarOf(RS.A);
+        S.Field = resolveFieldRef(P, TypeId::invalid(), RS.B, Err);
+        if (!S.Field.isValid())
+          return nullptr;
+        S.From = VarOf(RS.C);
+        break;
+      }
+      case StmtKind::StaticLoad:
+      case StmtKind::StaticStore: {
+        const std::string &Cls =
+            RS.Kind == StmtKind::StaticLoad ? RS.B : RS.A;
+        const std::string &FieldName =
+            RS.Kind == StmtKind::StaticLoad ? RS.C : RS.B;
+        TypeId T = P.typeByName(Cls);
+        if (!T.isValid()) {
+          Err = "unknown class '" + Cls + "' in static field access";
+          return nullptr;
+        }
+        FieldId F;
+        for (TypeId Walk = T; Walk.isValid(); Walk = P.type(Walk).Super) {
+          for (FieldId Cand : P.type(Walk).Fields)
+            if (P.field(Cand).IsStatic && P.field(Cand).Name == FieldName) {
+              F = Cand;
+              break;
+            }
+          if (F.isValid())
+            break;
+        }
+        if (!F.isValid()) {
+          Err = "class '" + Cls + "' has no static field '" + FieldName + "'";
+          return nullptr;
+        }
+        S.Field = F;
+        if (RS.Kind == StmtKind::StaticLoad)
+          S.To = VarOf(RS.A);
+        else
+          S.From = VarOf(RS.C);
+        break;
+      }
+      case StmtKind::Cast: {
+        S.To = VarOf(RS.A);
+        TypeId T = ensureType(P, RS.B, Err);
+        if (!T.isValid())
+          return nullptr;
+        S.From = VarOf(RS.C);
+        S.CastIdx = P.numCastSites();
+        P.CastSites.push_back({S.To, S.From, T, MId});
+        break;
+      }
+      case StmtKind::Invoke: {
+        CallSiteInfo CS;
+        CS.Kind = RS.Call;
+        CS.Enclosing = MId;
+        if (!RS.A.empty())
+          CS.Result = VarOf(RS.A);
+        for (const std::string &Arg : RS.Args)
+          CS.Args.push_back(VarOf(Arg));
+        if (RS.Call == CallKind::Virtual) {
+          CS.Base = VarOf(RS.B);
+          CS.Sig = RS.C + "/" + std::to_string(RS.Args.size());
+        } else if (RS.Call == CallKind::Static) {
+          CS.Direct = ResolveDirect(RS.B, RS.C, RS.Args.size());
+          if (!CS.Direct.isValid()) {
+            Err = "unresolved static call " + RS.B + "::" + RS.C + "/" +
+                  std::to_string(RS.Args.size());
+            return nullptr;
+          }
+          if (!P.method(CS.Direct).IsStatic) {
+            Err = "static call targets instance method " +
+                  P.method(CS.Direct).Signature;
+            return nullptr;
+          }
+        } else { // Special
+          CS.Base = VarOf(RS.B);
+          CS.Direct = ResolveDirect(RS.D, RS.C, RS.Args.size());
+          if (!CS.Direct.isValid()) {
+            Err = "unresolved special call " + RS.D + "." + RS.C + "/" +
+                  std::to_string(RS.Args.size());
+            return nullptr;
+          }
+        }
+        S.Site = CallSiteId(static_cast<uint32_t>(P.CallSites.size()));
+        P.CallSites.push_back(std::move(CS));
+        break;
+      }
+      case StmtKind::Return:
+        S.From = VarOf(RS.A);
+        break;
+      case StmtKind::Throw:
+        S.From = VarOf(RS.A);
+        break;
+      case StmtKind::Catch: {
+        S.To = VarOf(RS.A);
+        S.Type = ensureType(P, RS.B, Err);
+        if (!S.Type.isValid())
+          return nullptr;
+        break;
+      }
+      }
+      MI.Body.push_back(S);
+    }
+  }
+
+  // --- Entry point. ---
+  if (EntryClass.empty()) {
+    // Default: the unique static parameterless "main".
+    for (uint32_t I = 0; I < P.numMethods(); ++I)
+      if (P.Methods[I].IsStatic && P.Methods[I].Name == "main" &&
+          P.Methods[I].Params.empty()) {
+        P.Entry = MethodId(I);
+        break;
+      }
+  } else {
+    P.Entry = P.methodBySignature(EntryClass + "." + EntryName + "/0");
+  }
+  if (!P.Entry.isValid()) {
+    Err = "no entry method (need a static, parameterless 'main')";
+    return nullptr;
+  }
+  if (!P.method(P.Entry).IsStatic) {
+    Err = "entry method must be static";
+    return nullptr;
+  }
+  return Owner;
+}

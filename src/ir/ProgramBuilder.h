@@ -1,0 +1,148 @@
+//===-- ir/ProgramBuilder.h - Name-based IR construction ------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-phase, name-based builder for Program. Clients (the parser, unit
+/// tests, the synthetic workload generators) declare classes, fields and
+/// methods by name and record statement bodies symbolically; finish()
+/// resolves every name, validates the program, and produces the immutable
+/// Program arena (or reports the first error).
+///
+/// Conveniences:
+///  - "Object" is implicit and is the default superclass.
+///  - Array types are written "T[]" and spring into existence on first use,
+///    carrying a single element field named "[]" of the element type.
+///  - Local variables are declared implicitly on first use.
+///  - Instance fields are referenced either unqualified ("f", resolved if
+///    the name is unique program-wide) or qualified ("A::f").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_IR_PROGRAMBUILDER_H
+#define MAHJONG_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mahjong::ir {
+
+class ProgramBuilder;
+
+/// Records the body of one method symbolically. Obtained from
+/// ProgramBuilder::method(); all statement methods return *this so bodies
+/// can be written fluently.
+class MethodBuilder {
+public:
+  /// V = new T   (T may be an array type "E[]")
+  MethodBuilder &alloc(std::string To, std::string Type);
+  /// To = From
+  MethodBuilder &copy(std::string To, std::string From);
+  /// To = null
+  MethodBuilder &assignNull(std::string To);
+  /// To = Base.Field
+  MethodBuilder &load(std::string To, std::string Base, std::string Field);
+  /// Base.Field = From
+  MethodBuilder &store(std::string Base, std::string Field, std::string From);
+  /// To = Class::Field  (static field)
+  MethodBuilder &staticLoad(std::string To, std::string Class,
+                            std::string Field);
+  /// Class::Field = From  (static field)
+  MethodBuilder &staticStore(std::string Class, std::string Field,
+                             std::string From);
+  /// To = (Type) From
+  MethodBuilder &cast(std::string To, std::string Type, std::string From);
+  /// [To =] Base.Name(Args)  — virtual dispatch. Pass "" to drop the result.
+  MethodBuilder &vcall(std::string To, std::string Base, std::string Name,
+                       std::vector<std::string> Args = {});
+  /// [To =] Class::Name(Args) — static call. Pass "" to drop the result.
+  MethodBuilder &scall(std::string To, std::string Class, std::string Name,
+                       std::vector<std::string> Args = {});
+  /// [To =] special Base.Class::Name(Args) — direct instance call.
+  MethodBuilder &specialcall(std::string To, std::string Base,
+                             std::string Class, std::string Name,
+                             std::vector<std::string> Args = {});
+  /// return From
+  MethodBuilder &ret(std::string From);
+  /// throw From
+  MethodBuilder &throwVar(std::string From);
+  /// To = catch Type — binds exceptions of (subtypes of) Type observable
+  /// in this method
+  MethodBuilder &catchType(std::string To, std::string Type);
+
+private:
+  friend class ProgramBuilder;
+
+  struct RawStmt {
+    StmtKind Kind;
+    CallKind Call = CallKind::Virtual;
+    std::string A, B, C, D;
+    std::vector<std::string> Args;
+  };
+
+  std::string Class;
+  std::string Name;
+  std::vector<std::string> Params;
+  bool IsStatic = false;
+  bool IsAbstract = false;
+  std::vector<RawStmt> Body;
+};
+
+/// Builds a Program from symbolic declarations. See the file comment.
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  /// Declares class \p Name extending \p Super (default "Object").
+  ProgramBuilder &declClass(std::string Name, std::string Super = "Object");
+
+  /// Declares an instance field \p Name of type \p Type in \p Class.
+  ProgramBuilder &declField(std::string Class, std::string Name,
+                            std::string Type);
+
+  /// Declares a static field \p Name of type \p Type in \p Class.
+  ProgramBuilder &declStaticField(std::string Class, std::string Name,
+                                  std::string Type);
+
+  /// Starts a method body; the returned builder stays valid until finish().
+  /// \p Params are parameter names (excluding this).
+  MethodBuilder &method(std::string Class, std::string Name,
+                        std::vector<std::string> Params = {},
+                        bool IsStatic = false);
+
+  /// Declares an abstract (bodyless) virtual method. \p Params are the
+  /// parameter names (kept so printing round-trips).
+  ProgramBuilder &abstractMethod(std::string Class, std::string Name,
+                                 std::vector<std::string> Params = {});
+
+  /// Selects the entry point (a static, parameterless method).
+  ProgramBuilder &setEntry(std::string Class, std::string Name);
+
+  /// Resolves all names and produces the Program. On failure returns null
+  /// and stores a diagnostic in \p Err.
+  std::unique_ptr<Program> finish(std::string &Err);
+
+private:
+  struct RawField {
+    std::string Class, Name, Type;
+    bool IsStatic;
+  };
+
+  TypeId ensureType(Program &P, const std::string &Name, std::string &Err);
+  FieldId resolveFieldRef(Program &P, TypeId ArrayHint,
+                          const std::string &Ref, std::string &Err);
+
+  std::vector<std::pair<std::string, std::string>> RawClasses;
+  std::vector<RawField> RawFields;
+  std::vector<std::unique_ptr<MethodBuilder>> RawMethods;
+  std::string EntryClass, EntryName;
+};
+
+} // namespace mahjong::ir
+
+#endif // MAHJONG_IR_PROGRAMBUILDER_H

@@ -1,0 +1,9 @@
+//===-- pta/CSManager.cpp ---------------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/CSManager.h"
+
+// CSManager is header-only today; this TU anchors the library.

@@ -1,0 +1,77 @@
+//===-- pta/CSManager.h - Context-sensitive entity interning --*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns context-sensitive variables, objects and methods (pairs of a
+/// context and a base entity) to dense ids, with O(1) reverse lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_CSMANAGER_H
+#define MAHJONG_PTA_CSMANAGER_H
+
+#include "pta/Context.h"
+#include "support/Interner.h"
+
+#include <utility>
+
+namespace mahjong::pta {
+
+/// Dense interning of (context, entity) pairs.
+class CSManager {
+public:
+  CSVarId csVar(ContextId C, VarId V) {
+    return Vars.intern(pack(C, V.idx()));
+  }
+  CSObjId csObj(ContextId C, ObjId O) {
+    return Objs.intern(pack(C, O.idx()));
+  }
+  CSMethodId csMethod(ContextId C, MethodId M) {
+    return Methods.intern(pack(C, M.idx()));
+  }
+
+  /// Const lookups that never intern; return invalid if unseen.
+  CSVarId lookupCSVar(ContextId C, VarId V) const {
+    return Vars.lookup(pack(C, V.idx()));
+  }
+  CSObjId lookupCSObj(ContextId C, ObjId O) const {
+    return Objs.lookup(pack(C, O.idx()));
+  }
+
+  std::pair<ContextId, VarId> varOf(CSVarId Id) const {
+    auto [C, E] = unpack(Vars.get(Id));
+    return {C, VarId(E)};
+  }
+  std::pair<ContextId, ObjId> objOf(CSObjId Id) const {
+    auto [C, E] = unpack(Objs.get(Id));
+    return {C, ObjId(E)};
+  }
+  std::pair<ContextId, MethodId> methodOf(CSMethodId Id) const {
+    auto [C, E] = unpack(Methods.get(Id));
+    return {C, MethodId(E)};
+  }
+
+  uint32_t numCSVars() const { return Vars.size(); }
+  uint32_t numCSObjs() const { return Objs.size(); }
+  uint32_t numCSMethods() const { return Methods.size(); }
+
+private:
+  static uint64_t pack(ContextId C, uint32_t E) {
+    return (static_cast<uint64_t>(C.idx()) << 32) | E;
+  }
+  static std::pair<ContextId, uint32_t> unpack(uint64_t Packed) {
+    return {ContextId(static_cast<uint32_t>(Packed >> 32)),
+            static_cast<uint32_t>(Packed)};
+  }
+
+  Interner<CSVarId, uint64_t> Vars;
+  Interner<CSObjId, uint64_t> Objs;
+  Interner<CSMethodId, uint64_t> Methods;
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_CSMANAGER_H

@@ -1,0 +1,59 @@
+//===-- pta/CallGraph.h - On-the-fly call graph ---------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph the solver discovers on the fly. Edges are stored
+/// context-sensitively ((caller context, call site) -> cs-method) and can
+/// be projected context-insensitively for the type-dependent clients,
+/// matching how Doop reports "#call graph edges".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_CALLGRAPH_H
+#define MAHJONG_PTA_CALLGRAPH_H
+
+#include "ir/Program.h"
+#include "pta/Context.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mahjong::pta {
+
+/// Context-sensitive call graph with CI projections.
+class CallGraph {
+public:
+  /// Records the edge (CallerCtx, Site) -> (CalleeCtx, Callee).
+  /// \returns true if the context-sensitive edge is new.
+  bool addEdge(ContextId CallerCtx, CallSiteId Site, ContextId CalleeCtx,
+               MethodId Callee);
+
+  /// Number of distinct context-sensitive edges.
+  uint64_t numCSEdges() const { return CSEdges.size(); }
+
+  /// Number of distinct (call site -> method) edges, the paper's
+  /// "#call graph edges" metric.
+  uint64_t numCIEdges() const { return CIEdges.size(); }
+
+  /// Distinct context-insensitive callee methods of \p Site.
+  const std::vector<MethodId> &calleesOf(CallSiteId Site) const;
+
+  /// All call sites with at least one edge.
+  std::vector<CallSiteId> callSitesWithEdges() const;
+
+private:
+  std::unordered_set<uint64_t> CSEdges; ///< hashed (csCallSite, csCallee)
+  std::unordered_set<uint64_t> CIEdges; ///< packed (site, method)
+  std::unordered_map<uint32_t, std::vector<MethodId>> SiteTargets;
+  // CS call-site / cs-callee interning for the 64-bit cs edge key.
+  Interner<Id<struct CSSiteTag>, uint64_t> CSSites;
+  Interner<CSMethodId, uint64_t> CSCallees;
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_CALLGRAPH_H

@@ -1,0 +1,34 @@
+//===-- pta/Context.cpp - Interned calling contexts ------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Context.h"
+
+using namespace mahjong;
+using namespace mahjong::pta;
+
+ContextTable::ContextTable() {
+  ContextId Empty = Table.intern({});
+  (void)Empty;
+  assert(Empty.idx() == 0 && "empty context must be id 0");
+}
+
+ContextId ContextTable::push(ContextId Base, CtxElem Elem, unsigned Limit) {
+  if (Limit == 0)
+    return empty();
+  std::vector<CtxElem> Elems = Table.get(Base);
+  Elems.push_back(Elem);
+  if (Elems.size() > Limit)
+    Elems.erase(Elems.begin(), Elems.end() - Limit);
+  return Table.intern(Elems);
+}
+
+ContextId ContextTable::truncate(ContextId C, unsigned Limit) {
+  const std::vector<CtxElem> &Elems = Table.get(C);
+  if (Elems.size() <= Limit)
+    return C;
+  std::vector<CtxElem> Cut(Elems.end() - Limit, Elems.end());
+  return Table.intern(Cut);
+}

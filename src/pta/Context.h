@@ -1,0 +1,57 @@
+//===-- pta/Context.h - Interned calling contexts -------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Calling contexts are bounded sequences of context elements; an element
+/// is a call site (k-CFA), an abstract object (k-obj) or a class type
+/// (k-type), stored as its raw 32-bit id. Contexts are interned so a
+/// ContextId is a dense index and context comparison is id comparison.
+/// ContextId 0 is always the empty context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_CONTEXT_H
+#define MAHJONG_PTA_CONTEXT_H
+
+#include "support/Ids.h"
+#include "support/Interner.h"
+
+#include <vector>
+
+namespace mahjong::pta {
+
+/// Raw payload of a context element (call-site, object, or type id).
+using CtxElem = uint32_t;
+
+/// Interning table for calling contexts.
+class ContextTable {
+public:
+  ContextTable();
+
+  /// The empty context (always id 0).
+  ContextId empty() const { return ContextId(0); }
+
+  /// Appends \p Elem to \p Base, keeping only the most recent \p Limit
+  /// elements.
+  ContextId push(ContextId Base, CtxElem Elem, unsigned Limit);
+
+  /// Keeps only the most recent \p Limit elements of \p C.
+  ContextId truncate(ContextId C, unsigned Limit);
+
+  const std::vector<CtxElem> &elems(ContextId C) const {
+    return Table.get(C);
+  }
+
+  /// Number of distinct contexts interned so far.
+  uint32_t size() const { return Table.size(); }
+
+private:
+  Interner<ContextId, std::vector<CtxElem>, VectorHash> Table;
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_CONTEXT_H

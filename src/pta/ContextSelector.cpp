@@ -1,0 +1,172 @@
+//===-- pta/ContextSelector.cpp - Context-sensitivity policies -------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/ContextSelector.h"
+
+using namespace mahjong;
+using namespace mahjong::pta;
+
+namespace {
+
+/// Context-insensitive: everything runs under the empty context.
+class InsensitiveSelector final : public ContextSelector {
+public:
+  explicit InsensitiveSelector(ContextTable &Ctxs) : Ctxs(Ctxs) {}
+  ContextId selectCallee(ContextId, CallSiteId, ContextId, ObjId) override {
+    return Ctxs.empty();
+  }
+  ContextId selectStaticCallee(ContextId, CallSiteId) override {
+    return Ctxs.empty();
+  }
+  ContextId selectHeap(ContextId, ObjId) override { return Ctxs.empty(); }
+  std::string name() const override { return "ci"; }
+
+private:
+  ContextTable &Ctxs;
+};
+
+/// k-CFA: method contexts are the last k call sites; heap contexts keep
+/// k-1 call sites.
+class CallSiteSelector final : public ContextSelector {
+public:
+  CallSiteSelector(unsigned K, ContextTable &Ctxs) : K(K), Ctxs(Ctxs) {}
+  ContextId selectCallee(ContextId CallerCtx, CallSiteId Site, ContextId,
+                         ObjId) override {
+    return Ctxs.push(CallerCtx, Site.idx(), K);
+  }
+  ContextId selectStaticCallee(ContextId CallerCtx,
+                               CallSiteId Site) override {
+    return Ctxs.push(CallerCtx, Site.idx(), K);
+  }
+  ContextId selectHeap(ContextId MethodCtx, ObjId) override {
+    return Ctxs.truncate(MethodCtx, K - 1);
+  }
+  std::string name() const override { return std::to_string(K) + "cs"; }
+
+private:
+  unsigned K;
+  ContextTable &Ctxs;
+};
+
+/// k-object-sensitivity: the callee of x.foo() runs under the receiver's
+/// heap context extended with the receiver object; static calls inherit
+/// the caller's context; heap contexts keep k-1 objects.
+class ObjectSelector final : public ContextSelector {
+public:
+  ObjectSelector(unsigned K, ContextTable &Ctxs) : K(K), Ctxs(Ctxs) {}
+  ContextId selectCallee(ContextId, CallSiteId, ContextId RecvHCtx,
+                         ObjId RecvObj) override {
+    return Ctxs.push(RecvHCtx, RecvObj.idx(), K);
+  }
+  ContextId selectStaticCallee(ContextId CallerCtx, CallSiteId) override {
+    return CallerCtx;
+  }
+  ContextId selectHeap(ContextId MethodCtx, ObjId) override {
+    return Ctxs.truncate(MethodCtx, K - 1);
+  }
+  std::string name() const override { return std::to_string(K) + "obj"; }
+
+private:
+  unsigned K;
+  ContextTable &Ctxs;
+};
+
+/// k-type-sensitivity: like k-obj, but each receiver object is replaced by
+/// the class type *containing its allocation site* (Smaragdakis et al.).
+class TypeSelector final : public ContextSelector {
+public:
+  TypeSelector(unsigned K, ContextTable &Ctxs, const ir::Program &P)
+      : K(K), Ctxs(Ctxs), P(P) {}
+  ContextId selectCallee(ContextId, CallSiteId, ContextId RecvHCtx,
+                         ObjId RecvObj) override {
+    return Ctxs.push(RecvHCtx, containingType(RecvObj), K);
+  }
+  ContextId selectStaticCallee(ContextId CallerCtx, CallSiteId) override {
+    return CallerCtx;
+  }
+  ContextId selectHeap(ContextId MethodCtx, ObjId) override {
+    return Ctxs.truncate(MethodCtx, K - 1);
+  }
+  std::string name() const override { return std::to_string(K) + "type"; }
+
+private:
+  /// The class whose code contains the allocation site of \p O.
+  CtxElem containingType(ObjId O) const {
+    MethodId M = P.obj(O).Method;
+    if (!M.isValid())
+      return P.objectType().idx();
+    return P.method(M).Declaring.idx();
+  }
+
+  unsigned K;
+  ContextTable &Ctxs;
+  const ir::Program &P;
+};
+
+/// Selective hybrid (Kastrinis & Smaragdakis): receiver-object contexts
+/// at virtual/special calls, call-site push at static calls — recovers
+/// precision for the static helpers plain k-obj analyzes under their
+/// caller's context. Heap contexts keep k-1 elements as usual.
+class HybridSelector final : public ContextSelector {
+public:
+  HybridSelector(unsigned K, ContextTable &Ctxs) : K(K), Ctxs(Ctxs) {}
+  ContextId selectCallee(ContextId, CallSiteId, ContextId RecvHCtx,
+                         ObjId RecvObj) override {
+    return Ctxs.push(RecvHCtx, RecvObj.idx(), K);
+  }
+  ContextId selectStaticCallee(ContextId CallerCtx,
+                               CallSiteId Site) override {
+    return Ctxs.push(CallerCtx, Site.idx(), K);
+  }
+  ContextId selectHeap(ContextId MethodCtx, ObjId) override {
+    return Ctxs.truncate(MethodCtx, K - 1);
+  }
+  std::string name() const override { return std::to_string(K) + "objH"; }
+
+private:
+  unsigned K;
+  ContextTable &Ctxs;
+};
+
+} // namespace
+
+std::unique_ptr<ContextSelector>
+mahjong::pta::makeContextSelector(ContextKind Kind, unsigned K,
+                                  ContextTable &Ctxs, const ir::Program &P) {
+  switch (Kind) {
+  case ContextKind::Insensitive:
+    return std::make_unique<InsensitiveSelector>(Ctxs);
+  case ContextKind::CallSite:
+    assert(K >= 1 && "k-CFA needs k >= 1");
+    return std::make_unique<CallSiteSelector>(K, Ctxs);
+  case ContextKind::Object:
+    assert(K >= 1 && "k-obj needs k >= 1");
+    return std::make_unique<ObjectSelector>(K, Ctxs);
+  case ContextKind::Type:
+    assert(K >= 1 && "k-type needs k >= 1");
+    return std::make_unique<TypeSelector>(K, Ctxs, P);
+  case ContextKind::Hybrid:
+    assert(K >= 1 && "hybrid needs k >= 1");
+    return std::make_unique<HybridSelector>(K, Ctxs);
+  }
+  return nullptr;
+}
+
+std::string mahjong::pta::analysisName(ContextKind Kind, unsigned K) {
+  switch (Kind) {
+  case ContextKind::Insensitive:
+    return "ci";
+  case ContextKind::CallSite:
+    return std::to_string(K) + "cs";
+  case ContextKind::Object:
+    return std::to_string(K) + "obj";
+  case ContextKind::Type:
+    return std::to_string(K) + "type";
+  case ContextKind::Hybrid:
+    return std::to_string(K) + "objH";
+  }
+  return "?";
+}

@@ -1,0 +1,72 @@
+//===-- pta/ContextSelector.h - Context-sensitivity policies --*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context selectors implement the three mainstream context-sensitivity
+/// flavours the paper evaluates: k-call-site-sensitivity (k-CFA),
+/// k-object-sensitivity, and k-type-sensitivity, plus the
+/// context-insensitive baseline. A selector decides (a) the calling
+/// context of a callee and (b) the heap context of an allocation. By
+/// convention (paper section 3.6.1), heap contexts keep k-1 elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_CONTEXTSELECTOR_H
+#define MAHJONG_PTA_CONTEXTSELECTOR_H
+
+#include "ir/Program.h"
+#include "pta/Context.h"
+
+#include <memory>
+#include <string>
+
+namespace mahjong::pta {
+
+/// Which flavour of context-sensitivity to run.
+enum class ContextKind : uint8_t {
+  Insensitive,
+  CallSite, ///< k-CFA
+  Object,   ///< k-object-sensitivity
+  Type,     ///< k-type-sensitivity
+  Hybrid,   ///< selective hybrid: object contexts for virtual calls,
+            ///< call-site contexts for static calls (Kastrinis &
+            ///< Smaragdakis, PLDI'13 — Doop's "selective 2objH")
+};
+
+/// Strategy object choosing callee and heap contexts.
+class ContextSelector {
+public:
+  virtual ~ContextSelector() = default;
+
+  /// Context for the callee of a virtual/special call dispatching on the
+  /// receiver (heap context \p RecvHCtx, object \p RecvObj).
+  virtual ContextId selectCallee(ContextId CallerCtx, CallSiteId Site,
+                                 ContextId RecvHCtx, ObjId RecvObj) = 0;
+
+  /// Context for the callee of a static call.
+  virtual ContextId selectStaticCallee(ContextId CallerCtx,
+                                       CallSiteId Site) = 0;
+
+  /// Heap context for an allocation executed under \p MethodCtx.
+  virtual ContextId selectHeap(ContextId MethodCtx, ObjId Obj) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Creates the selector for \p Kind with depth \p K, allocating contexts
+/// in \p Ctxs. For k-type-sensitivity the program is consulted for the
+/// class containing each allocation site.
+std::unique_ptr<ContextSelector> makeContextSelector(ContextKind Kind,
+                                                     unsigned K,
+                                                     ContextTable &Ctxs,
+                                                     const ir::Program &P);
+
+/// Human-readable analysis name, e.g. "2obj", "3type", "2cs", "ci".
+std::string analysisName(ContextKind Kind, unsigned K);
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_CONTEXTSELECTOR_H

@@ -1,0 +1,103 @@
+//===-- pta/FactsExport.cpp - Doop-style fact dumps ---------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/FactsExport.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::pta;
+
+void mahjong::pta::writeVarPointsTo(const PTAResult &R, std::ostream &OS) {
+  const Program &P = R.P;
+  // Deterministic: iterate variables densely, project contexts.
+  for (uint32_t VI = 0; VI < P.numVars(); ++VI) {
+    VarId V = VarId(VI);
+    PointsToSet Pts = R.ciVarPts(V);
+    for (uint32_t Raw : Pts)
+      OS << P.method(P.var(V).Method).Signature << '\t' << P.var(V).Name
+         << '\t' << P.describeObj(ObjId(Raw)) << '\n';
+  }
+}
+
+void mahjong::pta::writeInstanceFieldPointsTo(const PTAResult &R,
+                                              std::ostream &OS) {
+  const Program &P = R.P;
+  // Project cs-object fields onto base objects, deterministically.
+  std::map<std::pair<uint32_t, uint32_t>, std::set<uint32_t>> Rows;
+  R.forEachFieldPts([&](CSObjId O, FieldId F, const PointsToSet &Pts) {
+    ObjId Base = R.CSM.objOf(O).second;
+    auto &Targets = Rows[{Base.idx(), F.idx()}];
+    for (uint32_t Raw : Pts)
+      Targets.insert(R.baseObjOf(Raw).idx());
+  });
+  for (const auto &[Key, Targets] : Rows)
+    for (uint32_t T : Targets)
+      OS << P.describeObj(ObjId(Key.first)) << '\t'
+         << P.field(FieldId(Key.second)).Name << '\t'
+         << P.describeObj(ObjId(T)) << '\n';
+}
+
+void mahjong::pta::writeStaticFieldPointsTo(const PTAResult &R,
+                                            std::ostream &OS) {
+  const Program &P = R.P;
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I) {
+    uint64_t Key = R.Nodes.get(PtrNodeId(I));
+    if (PTAResult::kindOf(Key) != PTAResult::KindStatic ||
+        R.Pts[I].empty())
+      continue;
+    FieldId F = PTAResult::staticFieldOf(Key);
+    std::set<uint32_t> Targets;
+    for (uint32_t Raw : R.Pts[I])
+      Targets.insert(R.baseObjOf(Raw).idx());
+    for (uint32_t T : Targets)
+      OS << P.type(P.field(F).Declaring).Name << '\t' << P.field(F).Name
+         << '\t' << P.describeObj(ObjId(T)) << '\n';
+  }
+}
+
+void mahjong::pta::writeCallGraphEdge(const PTAResult &R,
+                                      std::ostream &OS) {
+  const Program &P = R.P;
+  for (CallSiteId Site : R.CG.callSitesWithEdges()) {
+    std::set<std::string> Callees;
+    for (MethodId Callee : R.CG.calleesOf(Site))
+      Callees.insert(P.method(Callee).Signature);
+    for (const std::string &Callee : Callees)
+      OS << P.method(P.callSite(Site).Enclosing).Signature << '\t'
+         << Site.idx() << '\t' << Callee << '\n';
+  }
+}
+
+void mahjong::pta::writeReachable(const PTAResult &R, std::ostream &OS) {
+  for (uint32_t I = 0; I < R.P.numMethods(); ++I)
+    if (R.ReachableMethod[I])
+      OS << R.P.method(MethodId(I)).Signature << '\n';
+}
+
+bool mahjong::pta::writeAllFacts(const PTAResult &R,
+                                 const std::string &Dir) {
+  struct Relation {
+    const char *Name;
+    void (*Write)(const PTAResult &, std::ostream &);
+  } Relations[] = {
+      {"VarPointsTo", writeVarPointsTo},
+      {"InstanceFieldPointsTo", writeInstanceFieldPointsTo},
+      {"StaticFieldPointsTo", writeStaticFieldPointsTo},
+      {"CallGraphEdge", writeCallGraphEdge},
+      {"Reachable", writeReachable},
+  };
+  for (const Relation &Rel : Relations) {
+    std::ofstream Out(Dir + "/" + Rel.Name + ".facts");
+    if (!Out)
+      return false;
+    Rel.Write(R, Out);
+  }
+  return true;
+}

@@ -1,0 +1,47 @@
+//===-- pta/FactsExport.h - Doop-style fact dumps -------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports an analysis solution as tab-separated relations, the format
+/// the Doop ecosystem (and downstream tooling like Tai-e's comparisons)
+/// consumes: VarPointsTo, InstanceFieldPointsTo, StaticFieldPointsTo,
+/// CallGraphEdge, and Reachable. All rows are emitted in a deterministic
+/// order so diffs between runs are meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_FACTSEXPORT_H
+#define MAHJONG_PTA_FACTSEXPORT_H
+
+#include "pta/PointerAnalysis.h"
+
+#include <ostream>
+
+namespace mahjong::pta {
+
+/// VarPointsTo(method, var, heapObject) — context-insensitively
+/// projected, one row per (var, base object) pair.
+void writeVarPointsTo(const PTAResult &R, std::ostream &OS);
+
+/// InstanceFieldPointsTo(baseObject, field, heapObject), CI-projected.
+void writeInstanceFieldPointsTo(const PTAResult &R, std::ostream &OS);
+
+/// StaticFieldPointsTo(class, field, heapObject).
+void writeStaticFieldPointsTo(const PTAResult &R, std::ostream &OS);
+
+/// CallGraphEdge(callerMethod, siteIndex, calleeMethod), CI-projected.
+void writeCallGraphEdge(const PTAResult &R, std::ostream &OS);
+
+/// Reachable(method) — CI-reachable methods.
+void writeReachable(const PTAResult &R, std::ostream &OS);
+
+/// Writes all five relations into directory \p Dir as <name>.facts.
+/// \returns true on success (false: some file could not be created).
+bool writeAllFacts(const PTAResult &R, const std::string &Dir);
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_FACTSEXPORT_H

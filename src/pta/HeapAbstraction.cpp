@@ -1,0 +1,56 @@
+//===-- pta/HeapAbstraction.cpp - Heap abstraction policies ----------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/HeapAbstraction.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+
+uint32_t HeapAbstraction::countAbstractObjects(uint32_t NumObjs) const {
+  std::unordered_set<uint32_t> Reprs;
+  for (uint32_t I = 0; I < NumObjs; ++I)
+    Reprs.insert(repr(ObjId(I)).idx());
+  return static_cast<uint32_t>(Reprs.size());
+}
+
+AllocTypeAbstraction::AllocTypeAbstraction(const ir::Program &P) {
+  uint32_t N = P.numObjs();
+  Repr.resize(N);
+  Merged.assign(N, false);
+  std::unordered_map<uint32_t, ObjId> FirstOfType;
+  // Pass 1: pick the first site of each type as the representative.
+  for (uint32_t I = 0; I < N; ++I) {
+    ObjId O = ObjId(I);
+    if (P.isNullObj(O)) {
+      Repr[I] = O;
+      continue;
+    }
+    auto [It, Inserted] =
+        FirstOfType.try_emplace(P.obj(O).Type.idx(), O);
+    Repr[I] = It->second;
+    if (!Inserted)
+      Merged[I] = true;
+  }
+  // Pass 2: the representative itself counts as merged when its class has
+  // more than one member.
+  for (uint32_t I = 0; I < N; ++I)
+    if (Merged[I])
+      Merged[Repr[I].idx()] = true;
+}
+
+MergedHeapAbstraction::MergedHeapAbstraction(std::vector<ObjId> MOM,
+                                             std::string Name)
+    : Repr(std::move(MOM)), Name(std::move(Name)) {
+  Merged.assign(Repr.size(), false);
+  std::unordered_map<uint32_t, uint32_t> ClassSize;
+  for (ObjId R : Repr)
+    ++ClassSize[R.idx()];
+  for (size_t I = 0; I < Repr.size(); ++I)
+    Merged[I] = ClassSize[Repr[I].idx()] > 1;
+}

@@ -1,0 +1,69 @@
+//===-- pta/PointerAnalysis.cpp - Analysis facade and results ---------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/PointerAnalysis.h"
+
+#include "pta/Solver.h"
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::pta;
+
+const PointsToSet *PTAResult::varPts(ContextId C, VarId V) const {
+  CSVarId CSV = CSM.lookupCSVar(C, V);
+  if (!CSV.isValid())
+    return nullptr;
+  PtrNodeId N = Nodes.lookup(varKey(CSV));
+  if (!N.isValid() || N.idx() >= Pts.size())
+    return nullptr;
+  return &Pts[N.idx()];
+}
+
+PointsToSet PTAResult::ciVarPts(VarId V) const {
+  PointsToSet Result;
+  MethodId M = P.var(V).Method;
+  for (ContextId C : MethodCtxs[M.idx()]) {
+    const PointsToSet *Set = varPts(C, V);
+    if (!Set)
+      continue;
+    for (uint32_t Raw : *Set)
+      Result.insert(baseObjOf(Raw).idx());
+  }
+  return Result;
+}
+
+const PointsToSet *PTAResult::fieldPts(CSObjId O, FieldId F) const {
+  PtrNodeId N = Nodes.lookup(fieldKey(O, F));
+  if (!N.isValid() || N.idx() >= Pts.size())
+    return nullptr;
+  return &Pts[N.idx()];
+}
+
+void PTAResult::forEachFieldPts(
+    const std::function<void(CSObjId, FieldId, const PointsToSet &)> &Fn)
+    const {
+  for (uint32_t I = 0; I < Nodes.size(); ++I) {
+    uint64_t Key = Nodes.get(PtrNodeId(I));
+    if (kindOf(Key) != KindField || Pts[I].empty())
+      continue;
+    auto [O, F] = csObjFieldOf(Key);
+    Fn(O, F, Pts[I]);
+  }
+}
+
+std::unique_ptr<PTAResult>
+mahjong::pta::runPointerAnalysis(const Program &P, const ClassHierarchy &CH,
+                                 const AnalysisOptions &Opts) {
+  auto R = std::make_unique<PTAResult>(P, CH);
+  static const AllocSiteAbstraction DefaultHeap;
+  const HeapAbstraction &Heap = Opts.Heap ? *Opts.Heap : DefaultHeap;
+  auto Selector = makeContextSelector(Opts.Kind, Opts.K, R->Ctxs, P);
+  R->AnalysisName = analysisName(Opts.Kind, Opts.K);
+  R->HeapName = Heap.name();
+  Solver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
+  S.run();
+  return R;
+}

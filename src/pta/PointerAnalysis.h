@@ -1,0 +1,154 @@
+//===-- pta/PointerAnalysis.h - Analysis facade and results ---*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point for running a points-to analysis: pick a context
+/// flavour (ci/k-cs/k-obj/k-type), a context depth and a heap abstraction,
+/// and receive a PTAResult holding the full solution — points-to sets of
+/// every context-sensitive variable and object field, the on-the-fly call
+/// graph, reachability, and run statistics. The type-dependent clients
+/// (src/clients) and the MAHJONG pre-analysis consumer (src/core) are both
+/// built on PTAResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_POINTERANALYSIS_H
+#define MAHJONG_PTA_POINTERANALYSIS_H
+
+#include "ir/ClassHierarchy.h"
+#include "ir/Program.h"
+#include "pta/CSManager.h"
+#include "pta/CallGraph.h"
+#include "pta/Context.h"
+#include "pta/ContextSelector.h"
+#include "pta/HeapAbstraction.h"
+#include "support/PointsToSet.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mahjong::pta {
+
+struct PtrNodeTag;
+/// Dense id of a pointer node (cs-variable, cs-object field, or static
+/// field) in the solver's pointer-flow graph.
+using PtrNodeId = Id<PtrNodeTag>;
+
+/// Counters describing one analysis run.
+struct PTAStats {
+  double Seconds = 0;
+  bool TimedOut = false;
+  uint64_t NumContexts = 0;
+  uint64_t NumCSVars = 0;
+  uint64_t NumCSObjs = 0;
+  uint64_t NumCSMethods = 0;
+  uint64_t NumReachableMethods = 0;
+  uint64_t VarPtsEntries = 0; ///< total size of all cs-variable points-to sets
+  uint64_t WorklistPops = 0;
+};
+
+/// The complete solution of one points-to analysis run.
+///
+/// Pointer nodes are interned 64-bit keys: the top two bits select the
+/// node kind, the payload identifies the entity (see the static key
+/// helpers). Points-to sets contain raw CSObjId values; use CSM to decode
+/// them to (heap context, object).
+class PTAResult {
+public:
+  PTAResult(const ir::Program &P, const ir::ClassHierarchy &CH)
+      : P(P), CH(CH), MethodCtxs(P.numMethods()),
+        ReachableMethod(P.numMethods(), false) {}
+
+  const ir::Program &P;
+  const ir::ClassHierarchy &CH;
+  ContextTable Ctxs;
+  CSManager CSM;
+  CallGraph CG;
+  Interner<PtrNodeId, uint64_t> Nodes;
+  std::vector<PointsToSet> Pts; ///< indexed by PtrNodeId
+  std::vector<std::vector<ContextId>> MethodCtxs; ///< per MethodId
+  std::vector<bool> ReachableMethod;              ///< CI reachability
+  PTAStats Stats;
+  std::string AnalysisName;
+  std::string HeapName;
+
+  // --- Pointer-node key encoding ---
+  static constexpr uint64_t KindVar = 0;
+  static constexpr uint64_t KindField = 1ull << 62;
+  static constexpr uint64_t KindStatic = 2ull << 62;
+  static constexpr unsigned FieldBits = 20;
+
+  static uint64_t varKey(CSVarId V) { return KindVar | V.idx(); }
+  static uint64_t fieldKey(CSObjId O, FieldId F) {
+    assert(F.idx() < (1u << FieldBits) && "field id overflows node key");
+    return KindField | (static_cast<uint64_t>(O.idx()) << FieldBits) |
+           F.idx();
+  }
+  static uint64_t staticKey(FieldId F) { return KindStatic | F.idx(); }
+  static uint64_t kindOf(uint64_t Key) { return Key & (3ull << 62); }
+  static CSVarId csVarOf(uint64_t Key) {
+    return CSVarId(static_cast<uint32_t>(Key));
+  }
+  static std::pair<CSObjId, FieldId> csObjFieldOf(uint64_t Key) {
+    uint64_t Payload = Key & ~(3ull << 62);
+    return {CSObjId(static_cast<uint32_t>(Payload >> FieldBits)),
+            FieldId(static_cast<uint32_t>(Payload & ((1u << FieldBits) - 1)))};
+  }
+  static FieldId staticFieldOf(uint64_t Key) {
+    return FieldId(static_cast<uint32_t>(Key));
+  }
+
+  // --- Solution queries ---
+
+  /// Points-to set of variable \p V under context \p C, or null if the
+  /// solver never created that pointer.
+  const PointsToSet *varPts(ContextId C, VarId V) const;
+
+  /// Context-insensitive projection of \p V's points-to set: the set of
+  /// base ObjId values over all contexts of its method.
+  PointsToSet ciVarPts(VarId V) const;
+
+  /// Points-to set of \p O.\p F, or null.
+  const PointsToSet *fieldPts(CSObjId O, FieldId F) const;
+
+  /// Invokes \p Fn for every instance-field pointer with a nonempty set.
+  void forEachFieldPts(
+      const std::function<void(CSObjId, FieldId, const PointsToSet &)> &Fn)
+      const;
+
+  /// Decodes a raw points-to element to its allocation-site object.
+  ObjId baseObjOf(uint32_t CSObjRaw) const {
+    return CSM.objOf(CSObjId(CSObjRaw)).second;
+  }
+
+  /// Dynamic type of a raw points-to element.
+  TypeId typeOfCSObj(uint32_t CSObjRaw) const {
+    return P.obj(baseObjOf(CSObjRaw)).Type;
+  }
+};
+
+/// Options selecting the analysis variant.
+struct AnalysisOptions {
+  ContextKind Kind = ContextKind::Insensitive;
+  unsigned K = 0;
+  /// Heap abstraction; null means the allocation-site abstraction.
+  const HeapAbstraction *Heap = nullptr;
+  /// Wall-clock budget in seconds; 0 means unlimited. A run that exceeds
+  /// the budget stops early with Stats.TimedOut set (the paper's
+  /// "unscalable within 5 hours" rows).
+  double TimeBudgetSeconds = 0;
+};
+
+/// Runs the points-to analysis described by \p Opts on \p P.
+std::unique_ptr<PTAResult> runPointerAnalysis(const ir::Program &P,
+                                              const ir::ClassHierarchy &CH,
+                                              const AnalysisOptions &Opts);
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_POINTERANALYSIS_H

@@ -1,0 +1,306 @@
+//===-- pta/Solver.cpp - Worklist points-to solver --------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Solver.h"
+
+#include "support/Timer.h"
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::pta;
+
+Solver::Solver(const Program &P, const ClassHierarchy &CH,
+               const HeapAbstraction &Heap, ContextSelector &Selector,
+               PTAResult &R, double TimeBudgetSeconds)
+    : P(P), CH(CH), Heap(Heap), Selector(Selector), R(R),
+      TimeBudget(TimeBudgetSeconds), Usage(P.numVars()) {
+  // Build the structural per-variable usage index once: which loads,
+  // stores and calls dereference each variable as their base.
+  for (uint32_t MIdx = 0; MIdx < P.numMethods(); ++MIdx) {
+    for (const Stmt &S : P.method(MethodId(MIdx)).Body) {
+      switch (S.Kind) {
+      case StmtKind::Load:
+        Usage[S.Base.idx()].Loads.push_back(&S);
+        break;
+      case StmtKind::Store:
+        Usage[S.Base.idx()].Stores.push_back(&S);
+        break;
+      case StmtKind::Invoke: {
+        const CallSiteInfo &CS = P.callSite(S.Site);
+        if (CS.Kind != CallKind::Static)
+          Usage[CS.Base.idx()].Calls.push_back(S.Site);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  // The context-insensitive null object exists in every run.
+  CSNullObjRaw = R.CSM.csObj(R.Ctxs.empty(), Program::nullObj()).idx();
+}
+
+PtrNodeId Solver::node(uint64_t Key) {
+  PtrNodeId N = R.Nodes.intern(Key);
+  if (N.idx() >= Out.size()) {
+    Out.resize(N.idx() + 1);
+    R.Pts.resize(N.idx() + 1);
+    Pending.resize(N.idx() + 1);
+    Queued.resize(N.idx() + 1, false);
+  }
+  return N;
+}
+
+PtrNodeId Solver::varNode(ContextId C, VarId V) {
+  return node(PTAResult::varKey(R.CSM.csVar(C, V)));
+}
+
+PtrNodeId Solver::fieldNode(CSObjId O, FieldId F) {
+  return node(PTAResult::fieldKey(O, F));
+}
+
+PtrNodeId Solver::staticNode(FieldId F) {
+  return node(PTAResult::staticKey(F));
+}
+
+void Solver::addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) {
+  if (Src == Dst && !Filter.isValid())
+    return;
+  uint64_t Key = (static_cast<uint64_t>(Src.idx()) << 32) | Dst.idx();
+  if (!Filter.isValid()) {
+    if (!EdgeDedup.insert(Key).second)
+      return;
+  } else {
+    // Filtered edges (casts) are rare per node; scan for an exact
+    // duplicate since distinct filters on the same (src, dst) are legal.
+    for (const Edge &E : Out[Src.idx()])
+      if (E.Target == Dst && E.Filter == Filter)
+        return;
+  }
+  Out[Src.idx()].push_back({Dst, Filter});
+  if (!R.Pts[Src.idx()].empty())
+    addToWorklist(Dst, applyFilter(R.Pts[Src.idx()], Filter));
+}
+
+PointsToSet Solver::applyFilter(const PointsToSet &Set, TypeId Filter) const {
+  if (!Filter.isValid())
+    return Set;
+  PointsToSet Result;
+  for (uint32_t Raw : Set) {
+    TypeId T = CSObjType[Raw];
+    if (CH.isSubtype(T, Filter))
+      Result.insert(Raw);
+  }
+  return Result;
+}
+
+void Solver::addToWorklist(PtrNodeId N, PointsToSet Delta) {
+  if (Delta.empty())
+    return;
+  Pending[N.idx()].unionWith(Delta);
+  if (!Queued[N.idx()]) {
+    Queued[N.idx()] = true;
+    Worklist.push_back(N);
+  }
+}
+
+void Solver::propagate(PtrNodeId N, const PointsToSet &Delta) {
+  PointsToSet Diff = R.Pts[N.idx()].differenceFrom(Delta);
+  if (Diff.empty())
+    return;
+  R.Pts[N.idx()].unionWith(Diff);
+  uint64_t Key = R.Nodes.get(N);
+  // Iterate by index: edge processing never appends to Out[N] (new edges
+  // only appear in onVarGrowth below, which runs after this loop and
+  // seeds them with the already-updated points-to set).
+  const std::vector<Edge> &Edges = Out[N.idx()];
+  size_t NumEdges = Edges.size();
+  for (size_t I = 0; I < NumEdges; ++I)
+    addToWorklist(Edges[I].Target, applyFilter(Diff, Edges[I].Filter));
+  if (PTAResult::kindOf(Key) == PTAResult::KindVar) {
+    auto [C, V] = R.CSM.varOf(PTAResult::csVarOf(Key));
+    onVarGrowth(C, V, Diff);
+  }
+}
+
+MethodId Solver::dispatch(TypeId RecvType, CallSiteId Site) {
+  uint64_t Key = (static_cast<uint64_t>(RecvType.idx()) << 32) | Site.idx();
+  auto It = DispatchCache.find(Key);
+  if (It != DispatchCache.end())
+    return It->second;
+  const CallSiteInfo &CS = P.callSite(Site);
+  MethodId Callee = CS.Kind == CallKind::Virtual
+                        ? CH.resolveVirtual(RecvType, CS.Sig)
+                        : CS.Direct;
+  DispatchCache.emplace(Key, Callee);
+  return Callee;
+}
+
+void Solver::processCallOnRecv(ContextId C, CallSiteId Site,
+                               uint32_t CSObjRaw) {
+  if (CSObjRaw == CSNullObjRaw)
+    return; // calls on null never dispatch
+  const CallSiteInfo &CS = P.callSite(Site);
+  auto [HCtx, RecvObj] = R.CSM.objOf(CSObjId(CSObjRaw));
+  MethodId Callee = dispatch(P.obj(RecvObj).Type, Site);
+  if (!Callee.isValid())
+    return;
+  const MethodInfo &CalleeInfo = P.method(Callee);
+  ContextId CalleeCtx = Selector.selectCallee(C, Site, HCtx, RecvObj);
+  // Bind the receiver unconditionally: several receiver objects can share
+  // one (callee, context) pair, and each must flow into 'this'.
+  PointsToSet Recv;
+  Recv.insert(CSObjRaw);
+  addToWorklist(varNode(CalleeCtx, CalleeInfo.This), std::move(Recv));
+  if (!R.CG.addEdge(C, Site, CalleeCtx, Callee))
+    return;
+  addReachable(CalleeCtx, Callee);
+  for (size_t I = 0; I < CS.Args.size() && I < CalleeInfo.Params.size(); ++I)
+    addEdge(varNode(C, CS.Args[I]), varNode(CalleeCtx, CalleeInfo.Params[I]));
+  if (CS.Result.isValid())
+    addEdge(varNode(CalleeCtx, CalleeInfo.Ret), varNode(C, CS.Result));
+  // Exceptions escaping the callee may propagate to the caller
+  // (conservatively also when caught; see MethodInfo::Exc).
+  addEdge(varNode(CalleeCtx, CalleeInfo.Exc),
+          varNode(C, P.method(CS.Enclosing).Exc));
+}
+
+void Solver::onVarGrowth(ContextId C, VarId V, const PointsToSet &Delta) {
+  const VarUsage &U = Usage[V.idx()];
+  for (const Stmt *S : U.Loads)
+    for (uint32_t Raw : Delta) {
+      if (Raw == CSNullObjRaw)
+        continue; // no fields on null
+      addEdge(fieldNode(CSObjId(Raw), S->Field), varNode(C, S->To));
+    }
+  for (const Stmt *S : U.Stores)
+    for (uint32_t Raw : Delta) {
+      if (Raw == CSNullObjRaw)
+        continue;
+      addEdge(varNode(C, S->From), fieldNode(CSObjId(Raw), S->Field));
+    }
+  for (CallSiteId Site : U.Calls)
+    for (uint32_t Raw : Delta)
+      processCallOnRecv(C, Site, Raw);
+}
+
+void Solver::processStaticCall(ContextId C, CallSiteId Site) {
+  const CallSiteInfo &CS = P.callSite(Site);
+  MethodId Callee = CS.Direct;
+  const MethodInfo &CalleeInfo = P.method(Callee);
+  ContextId CalleeCtx = Selector.selectStaticCallee(C, Site);
+  if (!R.CG.addEdge(C, Site, CalleeCtx, Callee))
+    return;
+  addReachable(CalleeCtx, Callee);
+  for (size_t I = 0; I < CS.Args.size() && I < CalleeInfo.Params.size(); ++I)
+    addEdge(varNode(C, CS.Args[I]), varNode(CalleeCtx, CalleeInfo.Params[I]));
+  if (CS.Result.isValid())
+    addEdge(varNode(CalleeCtx, CalleeInfo.Ret), varNode(C, CS.Result));
+  addEdge(varNode(CalleeCtx, CalleeInfo.Exc),
+          varNode(C, P.method(CS.Enclosing).Exc));
+}
+
+void Solver::addReachable(ContextId C, MethodId M) {
+  if (!ReachableCS.insert(R.CSM.csMethod(C, M).idx()).second)
+    return;
+  R.MethodCtxs[M.idx()].push_back(C);
+  R.ReachableMethod[M.idx()] = true;
+  const MethodInfo &MI = P.method(M);
+  for (const Stmt &S : MI.Body) {
+    switch (S.Kind) {
+    case StmtKind::Alloc: {
+      ObjId Rep = Heap.repr(S.Obj);
+      ContextId HCtx = Heap.isMerged(Rep) ? R.Ctxs.empty()
+                                          : Selector.selectHeap(C, Rep);
+      CSObjId O = R.CSM.csObj(HCtx, Rep);
+      if (O.idx() >= CSObjType.size())
+        CSObjType.resize(O.idx() + 1, TypeId());
+      CSObjType[O.idx()] = P.obj(Rep).Type;
+      PointsToSet Single;
+      Single.insert(O.idx());
+      addToWorklist(varNode(C, S.To), std::move(Single));
+      break;
+    }
+    case StmtKind::Copy:
+      addEdge(varNode(C, S.From), varNode(C, S.To));
+      break;
+    case StmtKind::AssignNull: {
+      PointsToSet Single;
+      Single.insert(CSNullObjRaw);
+      addToWorklist(varNode(C, S.To), std::move(Single));
+      break;
+    }
+    case StmtKind::StaticLoad:
+      addEdge(staticNode(S.Field), varNode(C, S.To));
+      break;
+    case StmtKind::StaticStore:
+      addEdge(varNode(C, S.From), staticNode(S.Field));
+      break;
+    case StmtKind::Cast: {
+      const CastSiteInfo &CS = P.castSite(S.CastIdx);
+      addEdge(varNode(C, CS.From), varNode(C, CS.To), CS.Target);
+      break;
+    }
+    case StmtKind::Return:
+      addEdge(varNode(C, S.From), varNode(C, MI.Ret));
+      break;
+    case StmtKind::Throw:
+      addEdge(varNode(C, S.From), varNode(C, MI.Exc));
+      break;
+    case StmtKind::Catch:
+      // Flow-insensitive: a catch observes every exception the method's
+      // $exc slot may hold, filtered by the caught type.
+      addEdge(varNode(C, MI.Exc), varNode(C, S.To), S.Type);
+      break;
+    case StmtKind::Invoke:
+      if (P.callSite(S.Site).Kind == CallKind::Static)
+        processStaticCall(C, S.Site);
+      // Virtual/special calls are driven by receiver growth (onVarGrowth).
+      break;
+    case StmtKind::Load:
+    case StmtKind::Store:
+      break; // driven by base-variable growth
+    }
+  }
+}
+
+bool Solver::run() {
+  Timer Clock;
+  // Ensure the null cs-object's type is recorded before any filtering.
+  if (CSNullObjRaw >= CSObjType.size())
+    CSObjType.resize(CSNullObjRaw + 1, TypeId());
+  CSObjType[CSNullObjRaw] = P.nullType();
+
+  addReachable(R.Ctxs.empty(), P.entryMethod());
+
+  uint64_t Pops = 0;
+  while (!Worklist.empty()) {
+    if ((++Pops & 0x1FFF) == 0 && TimeBudget > 0 &&
+        Clock.seconds() > TimeBudget) {
+      R.Stats.TimedOut = true;
+      break;
+    }
+    PtrNodeId N = Worklist.front();
+    Worklist.pop_front();
+    Queued[N.idx()] = false;
+    PointsToSet Delta = std::move(Pending[N.idx()]);
+    Pending[N.idx()].clear();
+    propagate(N, Delta);
+  }
+
+  R.Stats.Seconds = Clock.seconds();
+  R.Stats.WorklistPops = Pops;
+  R.Stats.NumContexts = R.Ctxs.size();
+  R.Stats.NumCSVars = R.CSM.numCSVars();
+  R.Stats.NumCSObjs = R.CSM.numCSObjs();
+  R.Stats.NumCSMethods = R.CSM.numCSMethods();
+  for (bool Reach : R.ReachableMethod)
+    R.Stats.NumReachableMethods += Reach;
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
+    if (PTAResult::kindOf(R.Nodes.get(PtrNodeId(I))) == PTAResult::KindVar)
+      R.Stats.VarPtsEntries += R.Pts[I].size();
+  return !R.Stats.TimedOut;
+}

@@ -1,0 +1,100 @@
+//===-- pta/Solver.h - Worklist points-to solver --------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist solver computing an Andersen-style, flow-insensitive,
+/// (optionally) context-sensitive points-to solution with an on-the-fly
+/// call graph — the standard fixpoint Doop's Datalog rules encode,
+/// implemented explicitly. One solver serves every analysis the paper
+/// evaluates; the context selector and heap abstraction are the only
+/// variation points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_SOLVER_H
+#define MAHJONG_PTA_SOLVER_H
+
+#include "pta/PointerAnalysis.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace mahjong::pta {
+
+/// One fixpoint computation. Construct, call run(), read the PTAResult.
+class Solver {
+public:
+  Solver(const ir::Program &P, const ir::ClassHierarchy &CH,
+         const HeapAbstraction &Heap, ContextSelector &Selector,
+         PTAResult &R, double TimeBudgetSeconds);
+
+  /// Runs to fixpoint. \returns false if the time budget was exhausted.
+  bool run();
+
+private:
+  // --- Pointer-flow graph ---
+  struct Edge {
+    PtrNodeId Target;
+    TypeId Filter; ///< cast target; invalid = unfiltered
+  };
+
+  PtrNodeId node(uint64_t Key);
+  PtrNodeId varNode(ContextId C, VarId V);
+  PtrNodeId fieldNode(CSObjId O, FieldId F);
+  PtrNodeId staticNode(FieldId F);
+
+  /// Adds the PFG edge Src -> Dst (deduplicated) and seeds Dst with Src's
+  /// current points-to set.
+  void addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter = TypeId());
+
+  void addToWorklist(PtrNodeId N, PointsToSet Delta);
+
+  /// Merges \p Delta into \p N and forwards the growth along edges; var
+  /// nodes additionally trigger load/store/call processing.
+  void propagate(PtrNodeId N, const PointsToSet &Delta);
+
+  PointsToSet applyFilter(const PointsToSet &Set, TypeId Filter) const;
+
+  // --- Reachability and statement processing ---
+  void addReachable(ContextId C, MethodId M);
+  void processStaticCall(ContextId C, CallSiteId Site);
+  void onVarGrowth(ContextId C, VarId V, const PointsToSet &Delta);
+  void processCallOnRecv(ContextId C, CallSiteId Site, uint32_t CSObjRaw);
+
+  MethodId dispatch(TypeId RecvType, CallSiteId Site);
+
+  const ir::Program &P;
+  const ir::ClassHierarchy &CH;
+  const HeapAbstraction &Heap;
+  ContextSelector &Selector;
+  PTAResult &R;
+  double TimeBudget;
+
+  /// Per-variable structural usage (loads/stores/calls with this base),
+  /// built once up front.
+  struct VarUsage {
+    std::vector<const ir::Stmt *> Loads;
+    std::vector<const ir::Stmt *> Stores;
+    std::vector<CallSiteId> Calls;
+  };
+  std::vector<VarUsage> Usage;
+
+  std::vector<std::vector<Edge>> Out;     ///< indexed by PtrNodeId
+  std::unordered_set<uint64_t> EdgeDedup; ///< packed (src, dst), unfiltered
+  // Coalescing worklist: one pending delta per node, so bursts of tiny
+  // deltas through hub nodes merge before they are propagated.
+  std::vector<PointsToSet> Pending; ///< indexed by PtrNodeId
+  std::vector<bool> Queued;         ///< indexed by PtrNodeId
+  std::deque<PtrNodeId> Worklist;
+  std::unordered_set<uint32_t> ReachableCS; ///< CSMethodId raw values
+  std::unordered_map<uint64_t, MethodId> DispatchCache;
+  std::vector<TypeId> CSObjType; ///< type per CSObjId, grown lazily
+  uint32_t CSNullObjRaw = 0;
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_SOLVER_H

@@ -1,0 +1,52 @@
+//===-- support/DisjointSets.cpp - Union-find forest ----------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DisjointSets.h"
+
+#include <cassert>
+
+using namespace mahjong;
+
+void DisjointSets::grow(uint32_t NewSize) {
+  if (NewSize <= Parent.size())
+    return;
+  uint32_t Old = static_cast<uint32_t>(Parent.size());
+  Parent.resize(NewSize);
+  Rank.resize(NewSize, 0);
+  Size.resize(NewSize, 1);
+  for (uint32_t I = Old; I < NewSize; ++I)
+    Parent[I] = I;
+  NumSets += NewSize - Old;
+}
+
+uint32_t DisjointSets::find(uint32_t X) {
+  assert(X < Parent.size() && "element out of range");
+  // Iterative two-pass path compression: find the root, then repoint every
+  // node on the path directly at it.
+  uint32_t Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  while (Parent[X] != Root) {
+    uint32_t Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+uint32_t DisjointSets::unite(uint32_t X, uint32_t Y) {
+  uint32_t RX = find(X), RY = find(Y);
+  if (RX == RY)
+    return RX;
+  if (Rank[RX] < Rank[RY])
+    std::swap(RX, RY);
+  Parent[RY] = RX;
+  Size[RX] += Size[RY];
+  if (Rank[RX] == Rank[RY])
+    ++Rank[RX];
+  --NumSets;
+  return RX;
+}

@@ -1,0 +1,93 @@
+//===-- support/Ids.h - Strong dense identifier types ---------*- C++ -*-===//
+//
+// Part of mahjong-cpp, a reproduction of the PLDI'17 MAHJONG heap
+// abstraction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed dense identifiers. Every entity in the analysis (types,
+/// fields, methods, variables, objects, call sites, contexts, ...) is
+/// referred to by a 32-bit index into an arena owned by its registry.
+/// Wrapping the index in a tagged struct prevents accidentally mixing id
+/// kinds while keeping the runtime representation a plain uint32_t.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_IDS_H
+#define MAHJONG_SUPPORT_IDS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mahjong {
+
+/// A strongly typed wrapper around a dense 32-bit index.
+///
+/// \tparam Tag an empty struct that distinguishes id kinds at compile time.
+template <typename Tag> class Id {
+public:
+  static constexpr uint32_t InvalidValue = 0xFFFFFFFFu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t Value) : Value(Value) {}
+
+  /// Returns the raw index. Only valid ids may be dereferenced.
+  constexpr uint32_t idx() const {
+    assert(isValid() && "dereferencing an invalid id");
+    return Value;
+  }
+
+  /// Returns the raw value without the validity assertion (for hashing).
+  constexpr uint32_t raw() const { return Value; }
+
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  static constexpr Id invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+
+private:
+  uint32_t Value = InvalidValue;
+};
+
+// Tags for the id kinds used throughout the project.
+struct TypeTag;
+struct FieldTag;
+struct MethodTag;
+struct VarTag;
+struct ObjTag;      // abstract heap object == allocation site
+struct CallSiteTag;
+struct ContextTag;  // interned context
+struct CSVarTag;    // context-sensitive variable
+struct CSObjTag;    // context-sensitive object
+struct CSMethodTag; // context-sensitive method
+struct DFAStateTag; // interned determinized automaton state
+
+using TypeId = Id<TypeTag>;
+using FieldId = Id<FieldTag>;
+using MethodId = Id<MethodTag>;
+using VarId = Id<VarTag>;
+using ObjId = Id<ObjTag>;
+using CallSiteId = Id<CallSiteTag>;
+using ContextId = Id<ContextTag>;
+using CSVarId = Id<CSVarTag>;
+using CSObjId = Id<CSObjTag>;
+using CSMethodId = Id<CSMethodTag>;
+using DFAStateId = Id<DFAStateTag>;
+
+} // namespace mahjong
+
+namespace std {
+template <typename Tag> struct hash<mahjong::Id<Tag>> {
+  size_t operator()(mahjong::Id<Tag> Id) const noexcept {
+    return std::hash<uint32_t>()(Id.raw());
+  }
+};
+} // namespace std
+
+#endif // MAHJONG_SUPPORT_IDS_H

@@ -1,0 +1,73 @@
+//===-- support/Interner.h - Dense interning tables -----------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic interning of values to dense 32-bit ids, used for contexts,
+/// context-sensitive variables/objects, and determinized automaton states.
+/// Interned values are stored once; ids index a side vector for O(1)
+/// reverse lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_INTERNER_H
+#define MAHJONG_SUPPORT_INTERNER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mahjong {
+
+/// Hash for vectors of integral values (FNV-1a over the elements).
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T> &V) const noexcept {
+    size_t H = 1469598103934665603ull;
+    for (const T &E : V) {
+      H ^= static_cast<size_t>(E);
+      H *= 1099511628211ull;
+    }
+    return H;
+  }
+};
+
+/// Interns values of type \p V, handing out ids of type \p IdT in insertion
+/// order. \p IdT must be constructible from uint32_t and expose idx().
+template <typename IdT, typename V, typename Hash = std::hash<V>>
+class Interner {
+public:
+  /// Returns the id for \p Value, interning it on first sight.
+  IdT intern(const V &Value) {
+    auto [It, Inserted] =
+        Map.try_emplace(Value, static_cast<uint32_t>(Values.size()));
+    if (Inserted)
+      Values.push_back(Value);
+    return IdT(It->second);
+  }
+
+  /// Returns the id for \p Value if already interned, an invalid id else.
+  IdT lookup(const V &Value) const {
+    auto It = Map.find(Value);
+    return It == Map.end() ? IdT::invalid() : IdT(It->second);
+  }
+
+  const V &get(IdT Id) const {
+    assert(Id.idx() < Values.size() && "interner id out of range");
+    return Values[Id.idx()];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Values.size()); }
+
+private:
+  std::unordered_map<V, uint32_t, Hash> Map;
+  std::vector<V> Values;
+};
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_INTERNER_H

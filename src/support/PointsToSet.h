@@ -1,0 +1,214 @@
+//===-- support/PointsToSet.h - Chunked sparse bitmap sets ----*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The points-to set representation used by the solver: a sparse bitmap
+/// stored as a sorted vector of (chunk index, 64-bit word) pairs, where
+/// element e lives in chunk e/64 at bit e%64. Unions and differences are
+/// merge-joins over the chunk arrays, so propagating a delta into a large
+/// set costs O(chunks of the delta), not O(size of the set) — the
+/// difference between a points-to solver that scales and one that is
+/// quadratic in the heap. Iteration is in ascending element order and the
+/// whole structure is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_POINTSTOSET_H
+#define MAHJONG_SUPPORT_POINTSTOSET_H
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace mahjong {
+
+/// A set of dense 32-bit ids as a chunked sparse bitmap.
+class PointsToSet {
+  struct Chunk {
+    uint32_t Index;
+    uint64_t Word;
+  };
+
+public:
+  PointsToSet() = default;
+
+  /// Inserts \p Elem. \returns true if the set changed.
+  bool insert(uint32_t Elem) {
+    uint32_t Idx = Elem >> 6;
+    uint64_t Bit = 1ull << (Elem & 63);
+    auto It = lowerBound(Idx);
+    if (It != Chunks.end() && It->Index == Idx) {
+      if (It->Word & Bit)
+        return false;
+      It->Word |= Bit;
+    } else {
+      Chunks.insert(It, {Idx, Bit});
+    }
+    ++Count;
+    return true;
+  }
+
+  bool contains(uint32_t Elem) const {
+    uint32_t Idx = Elem >> 6;
+    auto It = lowerBound(Idx);
+    return It != Chunks.end() && It->Index == Idx &&
+           (It->Word & (1ull << (Elem & 63)));
+  }
+
+  /// Unions \p Other into this set. \returns true if the set changed.
+  bool unionWith(const PointsToSet &Other) {
+    if (Other.empty())
+      return false;
+    if (empty()) {
+      *this = Other;
+      return true;
+    }
+    // Fast path: all new chunks beyond our current maximum.
+    if (Other.Chunks.front().Index > Chunks.back().Index) {
+      Chunks.insert(Chunks.end(), Other.Chunks.begin(), Other.Chunks.end());
+      Count += Other.Count;
+      return true;
+    }
+    bool Changed = false;
+    std::vector<Chunk> Merged;
+    Merged.reserve(Chunks.size() + Other.Chunks.size());
+    size_t I = 0, J = 0;
+    while (I < Chunks.size() || J < Other.Chunks.size()) {
+      if (J >= Other.Chunks.size() ||
+          (I < Chunks.size() && Chunks[I].Index < Other.Chunks[J].Index)) {
+        Merged.push_back(Chunks[I++]);
+      } else if (I >= Chunks.size() ||
+                 Other.Chunks[J].Index < Chunks[I].Index) {
+        Merged.push_back(Other.Chunks[J++]);
+        Count += std::popcount(Merged.back().Word);
+        Changed = true;
+      } else {
+        uint64_t Added = Other.Chunks[J].Word & ~Chunks[I].Word;
+        if (Added) {
+          Count += std::popcount(Added);
+          Changed = true;
+        }
+        Merged.push_back({Chunks[I].Index, Chunks[I].Word | Added});
+        ++I;
+        ++J;
+      }
+    }
+    if (Changed)
+      Chunks = std::move(Merged);
+    return Changed;
+  }
+
+  /// Computes \p Other minus this set (the elements of Other we lack).
+  PointsToSet differenceFrom(const PointsToSet &Other) const {
+    PointsToSet Diff;
+    size_t I = 0;
+    for (const Chunk &C : Other.Chunks) {
+      while (I < Chunks.size() && Chunks[I].Index < C.Index)
+        ++I;
+      uint64_t Word = C.Word;
+      if (I < Chunks.size() && Chunks[I].Index == C.Index)
+        Word &= ~Chunks[I].Word;
+      if (Word) {
+        Diff.Chunks.push_back({C.Index, Word});
+        Diff.Count += std::popcount(Word);
+      }
+    }
+    return Diff;
+  }
+
+  bool empty() const { return Chunks.empty(); }
+  size_t size() const { return Count; }
+  void clear() {
+    Chunks.clear();
+    Count = 0;
+  }
+
+  /// Forward iterator over the elements in ascending order.
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t *;
+    using reference = uint32_t;
+
+    const_iterator(const std::vector<Chunk> *Chunks, size_t Pos)
+        : Chunks(Chunks), Pos(Pos) {
+      if (Pos < Chunks->size())
+        Word = (*Chunks)[Pos].Word;
+    }
+
+    uint32_t operator*() const {
+      return ((*Chunks)[Pos].Index << 6) +
+             static_cast<uint32_t>(std::countr_zero(Word));
+    }
+
+    const_iterator &operator++() {
+      Word &= Word - 1; // clear the lowest set bit
+      while (Word == 0 && ++Pos < Chunks->size())
+        Word = (*Chunks)[Pos].Word;
+      return *this;
+    }
+
+    const_iterator operator++(int) {
+      const_iterator Old = *this;
+      ++*this;
+      return Old;
+    }
+
+    bool operator!=(const const_iterator &O) const {
+      return Pos != O.Pos || (Pos < Chunks->size() && Word != O.Word);
+    }
+    bool operator==(const const_iterator &O) const { return !(*this != O); }
+
+  private:
+    const std::vector<Chunk> *Chunks;
+    size_t Pos;
+    uint64_t Word = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(&Chunks, 0); }
+  const_iterator end() const { return const_iterator(&Chunks, Chunks.size()); }
+
+  /// Materializes the elements as a sorted vector.
+  std::vector<uint32_t> toVector() const {
+    std::vector<uint32_t> V;
+    V.reserve(Count);
+    for (uint32_t E : *this)
+      V.push_back(E);
+    return V;
+  }
+
+  friend bool operator==(const PointsToSet &A, const PointsToSet &B) {
+    if (A.Count != B.Count || A.Chunks.size() != B.Chunks.size())
+      return false;
+    for (size_t I = 0; I < A.Chunks.size(); ++I)
+      if (A.Chunks[I].Index != B.Chunks[I].Index ||
+          A.Chunks[I].Word != B.Chunks[I].Word)
+        return false;
+    return true;
+  }
+
+private:
+  std::vector<Chunk>::iterator lowerBound(uint32_t Idx) {
+    return std::lower_bound(
+        Chunks.begin(), Chunks.end(), Idx,
+        [](const Chunk &C, uint32_t Key) { return C.Index < Key; });
+  }
+  std::vector<Chunk>::const_iterator lowerBound(uint32_t Idx) const {
+    return std::lower_bound(
+        Chunks.begin(), Chunks.end(), Idx,
+        [](const Chunk &C, uint32_t Key) { return C.Index < Key; });
+  }
+
+  std::vector<Chunk> Chunks;
+  size_t Count = 0;
+};
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_POINTSTOSET_H

@@ -1,0 +1,63 @@
+//===-- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace mahjong;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push_back(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // shutting down
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      ++Active;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Active;
+      if (Tasks.empty() && Active == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,62 @@
+//===-- support/ThreadPool.h - Fixed-size worker pool ---------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool used by the heap modeler's parallel
+/// type-consistency checks (paper section 5). Tasks are independent by
+/// construction (one per class type), so the pool needs no futures or
+/// task-local results: callers enqueue closures and wait for quiescence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_THREADPOOL_H
+#define MAHJONG_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mahjong {
+
+/// Fixed pool of worker threads executing enqueued closures.
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers. Zero means "hardware concurrency".
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Schedules \p Task for execution on some worker.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until every enqueued task has finished running.
+  void wait();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  size_t Active = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_THREADPOOL_H

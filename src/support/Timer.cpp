@@ -1,0 +1,9 @@
+//===-- support/Timer.cpp --------------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Timer is header-only today; this TU anchors the library.

@@ -1,0 +1,41 @@
+//===-- support/Timer.h - Wall-clock timing ------------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small wall-clock timer for the evaluation harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_TIMER_H
+#define MAHJONG_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace mahjong {
+
+/// Measures elapsed wall-clock time since construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_TIMER_H

@@ -1,0 +1,48 @@
+//===-- workload/BenchmarkPrograms.h - The 12 profiles --------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named workload profiles standing in for the paper's 12 benchmarks
+/// (9 DaCapo programs plus findbugs, checkstyle and JPC; §6). Each profile
+/// fixes the generator knobs to reproduce the benchmark's *role* in the
+/// evaluation:
+///
+///  - small, 3obj-scalable programs (luindex, lusearch, antlr, fop);
+///  - mid-size programs where plain 3obj exhausts the budget but
+///    MAHJONG-based 3obj completes (pmd, chart, checkstyle, findbugs,
+///    xalan);
+///  - large/heterogeneous programs that defeat 3obj with or without
+///    MAHJONG (eclipse, bloat, jpc).
+///
+/// Absolute sizes are scaled to single-machine benchmarking; shapes (who
+/// is scalable, who wins, merge ratios) are what we reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_WORKLOAD_BENCHMARKPROGRAMS_H
+#define MAHJONG_WORKLOAD_BENCHMARKPROGRAMS_H
+
+#include "workload/SyntheticBuilder.h"
+
+#include <string>
+#include <vector>
+
+namespace mahjong::workload {
+
+/// All profile names, in the paper's canonical order.
+const std::vector<std::string> &benchmarkNames();
+
+/// The generator spec of profile \p Name (aborts on unknown names).
+/// \p Scale multiplies the module count (1.0 = default size).
+WorkloadSpec benchmarkSpec(const std::string &Name, double Scale = 1.0);
+
+/// Convenience: builds the program of profile \p Name.
+std::unique_ptr<ir::Program> buildBenchmarkProgram(const std::string &Name,
+                                                   double Scale = 1.0);
+
+} // namespace mahjong::workload
+
+#endif // MAHJONG_WORKLOAD_BENCHMARKPROGRAMS_H

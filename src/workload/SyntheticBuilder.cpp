@@ -1,0 +1,455 @@
+//===-- workload/SyntheticBuilder.cpp - Synthetic programs ------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/SyntheticBuilder.h"
+
+#include "ir/ProgramBuilder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::workload;
+
+namespace {
+
+/// SplitMix64: a tiny, deterministic PRNG — good enough for shaping
+/// workloads and fully reproducible across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435769u + 1) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9E3779B97F4A7C15ull);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound).
+  uint32_t below(uint32_t Bound) {
+    return Bound == 0 ? 0 : static_cast<uint32_t>(next() % Bound);
+  }
+
+  /// True with probability PerMille/1000.
+  bool chance(unsigned PerMille) { return below(1000) < PerMille; }
+
+private:
+  uint64_t State;
+};
+
+std::string num(unsigned N) { return std::to_string(N); }
+
+/// Emits the class library shared by all modules: element families with
+/// variants, box kinds, engines/makers, registries, buf kinds, wrapper
+/// kinds, and static utility chains.
+void emitLibrary(ProgramBuilder &B, const WorkloadSpec &S) {
+  // Element families: Elem{f} with variants Elem{f}v{v}, all overriding
+  // op() — the dispatch target of the devirtualization client.
+  for (unsigned F = 0; F < S.ElemFamilies; ++F) {
+    std::string Fam = "Elem" + num(F);
+    B.declClass(Fam);
+    B.declField(Fam, "nxt" + num(F), Fam);
+    B.method(Fam, "op").ret("this");
+    for (unsigned V = 0; V < S.VariantsPerFamily; ++V) {
+      std::string Var = Fam + "v" + num(V);
+      B.declClass(Var, Fam);
+      B.method(Var, "op").copy("r", "this").ret("r");
+    }
+  }
+
+  // Box kinds: generic containers. The precision pattern stores via
+  // direct per-site stores in module code; the cost pattern pumps
+  // registry unions through put(). get() runs a chain of helper calls on
+  // `this`, so every box *context* holds the container's contents in
+  // several locals — the per-context volume that makes the unmerged heap
+  // expensive under k-object-sensitivity.
+  for (unsigned K = 0; K < S.BoxKinds; ++K) {
+    std::string Box = "Box" + num(K);
+    std::string Val = "val" + num(K);
+    B.declClass(Box);
+    B.declField(Box, Val, "Object");
+    {
+      MethodBuilder &Get = B.method(Box, "get");
+      if (S.BoxHelperChain > 0)
+        Get.vcall("a", "this", "h" + num(K) + "_0");
+      Get.load("r", "this", Val).ret("r");
+    }
+    for (unsigned I = 0; I < S.BoxHelperChain; ++I) {
+      MethodBuilder &H = B.method(Box, "h" + num(K) + "_" + num(I));
+      H.load("x", "this", Val);
+      if (I + 1 < S.BoxHelperChain)
+        H.vcall("a", "this", "h" + num(K) + "_" + num(I + 1));
+      H.ret("x");
+    }
+    B.method(Box, "put", {"v"}).store("this", Val, "v").ret("this");
+    if (S.UseIterators) {
+      // The iterator is allocated *inside* iter(), one level deeper than
+      // the box: under 3obj its methods are distinguished per engine,
+      // under 2obj the shorter heap contexts collapse them — this is the
+      // 3obj-specific cost that the paper's Table 2 shows exploding.
+      std::string It = "It" + num(K);
+      std::string Cur = "cur" + num(K);
+      B.declClass(It);
+      B.declField(It, Cur, "Object");
+      {
+        MethodBuilder &Next = B.method(It, "next");
+        if (S.IterHelperChain > 0)
+          Next.vcall("a", "this", "n" + num(K) + "_0");
+        Next.load("r", "this", Cur).ret("r");
+      }
+      for (unsigned I = 0; I < S.IterHelperChain; ++I) {
+        MethodBuilder &N = B.method(It, "n" + num(K) + "_" + num(I));
+        N.load("x", "this", Cur);
+        if (I + 1 < S.IterHelperChain)
+          N.vcall("a", "this", "n" + num(K) + "_" + num(I + 1));
+        N.ret("x");
+      }
+      B.method(Box, "iter")
+          .alloc("i", It)
+          .load("t", "this", Val)
+          .store("i", Cur, "t")
+          .ret("i");
+    }
+  }
+
+  // Buf kinds: the "StringBuilder" pattern — a homogeneous payload
+  // written through a shared append method. The pre-analysis conflates
+  // all contents of a kind, but they are all of one payload type, so
+  // every site stays type-consistent and MAHJONG merges each kind into a
+  // single abstract object.
+  for (unsigned K = 0; K < S.BufKinds; ++K) {
+    std::string Buf = "Buf" + num(K);
+    std::string Pay = "Pay" + num(K);
+    std::string Data = "data" + num(K);
+    B.declClass(Pay);
+    B.declClass(Buf);
+    B.declField(Buf, Data, Pay);
+    B.method(Buf, "append", {"v"}).store("this", Data, "v").ret("this");
+    B.method(Buf, "read").load("r", "this", Data).ret("r");
+  }
+
+  // Engines: the k-obj cost pattern. Engine{f}.make() allocates a box, so
+  // box heap contexts carry the engine object and every box/iterator
+  // method context is distinguished per engine *site* under k-obj (but
+  // only per engine *class* under k-type, keeping k-type cheap, and only
+  // per call-chain under k-CFA). Engines carry a log field (written by
+  // modules with homogeneous Buf objects) so their type-consistency is
+  // decided by real automata, not trivially. One engine class per element
+  // family; the box kind is derived from the family.
+  for (unsigned F = 0; F < S.ElemFamilies; ++F) {
+    std::string Engine = "Engine" + num(F);
+    std::string BoxKind = "Box" + num(F % S.BoxKinds);
+    B.declClass(Engine);
+    B.declField(Engine, "log" + num(F), "Object");
+    if (S.UseMakerIndirection) {
+      std::string Maker = "Maker" + num(F);
+      B.declClass(Maker);
+      B.method(Maker, "build").alloc("b", BoxKind).ret("b");
+      B.method(Engine, "make")
+          .alloc("h", Maker)
+          .vcall("r", "h", "build")
+          .ret("r");
+    } else {
+      B.method(Engine, "make").alloc("b", BoxKind).ret("b");
+    }
+  }
+
+  // Registries: one per family, reachable through a static field. They
+  // accumulate every element of the family, so any variable fed from
+  // take() carries family-wide points-to sets — the volume that MAHJONG's
+  // element merging collapses.
+  B.declClass("Glob");
+  MethodBuilder &Init = B.method("Glob", "init", {}, /*IsStatic=*/true);
+  for (unsigned F = 0; F < S.ElemFamilies; ++F) {
+    std::string Reg = "Reg" + num(F);
+    std::string Head = "head" + num(F);
+    B.declClass(Reg);
+    B.declField(Reg, Head, "Object");
+    B.method(Reg, "add", {"v"}).store("this", Head, "v").ret("this");
+    B.method(Reg, "take").load("r", "this", Head).ret("r");
+    B.declStaticField("Glob", "reg" + num(F), Reg);
+    Init.alloc("r" + num(F), Reg);
+    Init.staticStore("Glob", "reg" + num(F), "r" + num(F));
+  }
+
+  // Pumps: per-family static helpers that fill a container from the
+  // registry and drain it through get()/iterators. A static helper keeps
+  // the family-wide registry union in ONE variable under the
+  // context-insensitive pre-analysis (ci stays linear), while each
+  // context-sensitive analysis pays per-receiver container contexts.
+  for (unsigned F = 0; F < S.ElemFamilies; ++F) {
+    std::string Pump = "Pump" + num(F);
+    B.declClass(Pump);
+    MethodBuilder &M = B.method(Pump, "pump", {"b"}, /*IsStatic=*/true);
+    M.staticLoad("rg", "Glob", "reg" + num(F));
+    M.vcall("t", "rg", "take");
+    M.vcall("", "b", "put", {"t"});
+    M.vcall("", "b", "get");
+    if (S.UseIterators) {
+      M.vcall("it", "b", "iter");
+      M.vcall("", "it", "next");
+    }
+    // An empty pump raises: the error records the missing element.
+    M.alloc("oops", "Err" + num(F));
+    M.store("oops", "why" + num(F), "t");
+    M.throwVar("oops");
+  }
+
+  // Wrapper kinds around each box kind: Wrap{k}_1 wraps the box,
+  // Wrap{k}_{l} wraps Wrap{k}_{l-1}; get() chains through.
+  for (unsigned K = 0; K < S.BoxKinds; ++K)
+    for (unsigned L = 1; L <= S.WrapDepth; ++L) {
+      std::string Wrap = "Wrap" + num(K) + "_" + num(L);
+      std::string Inner = L == 1 ? "Box" + num(K)
+                                 : "Wrap" + num(K) + "_" + num(L - 1);
+      std::string Inn = "inn" + num(K) + "_" + num(L);
+      B.declClass(Wrap);
+      B.declField(Wrap, Inn, Inner);
+      B.method(Wrap, "get")
+          .load("t", "this", Inn)
+          .vcall("r", "t", "get")
+          .ret("r");
+    }
+
+  // Error classes: one per family, thrown by the registries on take()
+  // and caught in module code. Exception objects are classic merge
+  // candidates (same type, homogeneous payload) and exercise the
+  // exceptional-flow edges of the solver.
+  for (unsigned F = 0; F < S.ElemFamilies; ++F) {
+    std::string ErrCls = "Err" + num(F);
+    B.declClass(ErrCls);
+    B.declField(ErrCls, "why" + num(F), "Elem" + num(F));
+  }
+
+  // Static utility chains: Util{u}::pass0 -> pass1 -> ... -> passN. They
+  // thread a value through and return it — context fodder for k-CFA and
+  // call-graph bulk for every analysis.
+  for (unsigned U = 0; U < S.UtilChains; ++U) {
+    std::string Util = "Util" + num(U);
+    B.declClass(Util);
+    for (unsigned I = 0; I < S.UtilChainLength; ++I) {
+      MethodBuilder &M =
+          B.method(Util, "pass" + num(I), {"x"}, /*IsStatic=*/true);
+      if (I + 1 < S.UtilChainLength)
+        M.scall("r", Util, "pass" + num(I + 1), {"x"}).ret("r");
+      else
+        M.copy("r", "x").ret("r");
+    }
+  }
+}
+
+/// Emits one module: a class Mod{m} with a static run() allocating and
+/// exercising containers. main() calls every module after Glob::init().
+void emitModule(ProgramBuilder &B, const WorkloadSpec &S, unsigned M,
+                Rng &R) {
+  std::string Mod = "Mod" + num(M);
+  B.declClass(Mod);
+  B.declStaticField(Mod, "cache", "Object");
+  MethodBuilder &Run = B.method(Mod, "run", {}, /*IsStatic=*/true);
+  unsigned Tmp = 0;
+  auto Fresh = [&](const char *Stem) { return Stem + num(Tmp++); };
+
+  // The module's dominant element family: sites of the same (kind,
+  // family) pair — within and across modules — are type-consistent and
+  // will be merged by MAHJONG.
+  unsigned HomeFam = M % S.ElemFamilies;
+
+  // First buf site: also used as the engines' log payload.
+  std::string FirstBuf;
+  for (unsigned J = 0; J < S.BufSitesPerModule && S.BufKinds > 0; ++J) {
+    unsigned Kind = (M + J) % S.BufKinds;
+    std::string Buf = "Buf" + num(Kind), Pay = "Pay" + num(Kind);
+    std::string U = Fresh("u"), Q = Fresh("p"), Rd = Fresh("r"),
+                C = Fresh("c");
+    Run.alloc(U, Buf);
+    Run.alloc(Q, Pay);
+    Run.vcall("", U, "append", {Q});
+    Run.vcall(Rd, U, "read");
+    Run.cast(C, Pay, Rd);
+    if (J == 0)
+      FirstBuf = U;
+  }
+
+  // Registry-fed element sites: the points-to volume for the cost
+  // pattern. Elements form chains of varying length through nxt, which
+  // diversifies their automata (chains of different depth are not
+  // type-consistent), bounding how far MAHJONG can compress them.
+  std::string Reg = Fresh("rg");
+  Run.staticLoad(Reg, "Glob", "reg" + num(HomeFam));
+  std::string PrevElem, FirstElem;
+  for (unsigned J = 0; J < S.ElemSitesPerModule; ++J) {
+    // Random variants: linked elements then carry random variant strings
+    // along their chains, so most linked elements are type-INconsistent
+    // with each other — the singleton mass of the paper's Figure 9.
+    unsigned Var = R.below(S.VariantsPerFamily);
+    std::string E = Fresh("e");
+    Run.alloc(E, "Elem" + num(HomeFam) + "v" + num(Var));
+    Run.vcall("", Reg, "add", {E});
+    if (!PrevElem.empty() && R.chance(S.ElemChainPerMille))
+      Run.store(E, "nxt" + num(HomeFam), PrevElem);
+    PrevElem = E;
+    if (FirstElem.empty())
+      FirstElem = E;
+  }
+
+  // Engine sites: each one materializes a full container context chain
+  // under k-object-sensitivity; the pump fills the container with the
+  // family-wide registry union, so those contexts hold heavy points-to
+  // sets on the unmerged heap. Results are discarded so the volume stays
+  // inside the containers' per-context locals (module locals would
+  // charge every analysis equally).
+  for (unsigned J = 0; J < S.EngineSitesPerModule; ++J) {
+    std::string En = Fresh("en"), Bx = Fresh("b");
+    Run.alloc(En, "Engine" + num(HomeFam));
+    if (!FirstBuf.empty())
+      Run.store(En, "log" + num(HomeFam), FirstBuf);
+    if (R.chance(S.PollutedEnginePerMille) && S.BufKinds > 1) {
+      // A log mixing two Buf kinds: a condition-2 violation that keeps
+      // this engine site unmerged — such sites retain per-site contexts
+      // even under MAHJONG (the never-scalable programs have many).
+      std::string U2 = Fresh("u");
+      Run.alloc(U2, "Buf" + num((M + J + 1) % S.BufKinds));
+      Run.store(En, "log" + num(HomeFam), U2);
+    }
+    Run.vcall(Bx, En, "make");
+    Run.scall("", "Pump" + num(HomeFam), "pump", {Bx});
+    if (J == 0) { // one observed read per module for the clients
+      std::string G = Fresh("g"), C = Fresh("c");
+      Run.vcall(G, Bx, "get");
+      Run.cast(C, "Elem" + num(HomeFam), G);
+      Run.vcall("", C, "op");
+    }
+    if (S.UtilChains > 0 && !FirstElem.empty()) {
+      std::string Ret = Fresh("uu");
+      Run.scall(Ret, "Util" + num(J % S.UtilChains), "pass0", {FirstElem});
+    }
+  }
+
+  // Direct-store box sites: the precision pattern. The pre-analysis sees
+  // per-site contents exactly, so MAHJONG groups sites by stored element
+  // type, while the allocation-type abstraction conflates everything.
+  for (unsigned J = 0; J < S.BoxSitesPerModule; ++J) {
+    unsigned Kind = (M + J) % S.BoxKinds;
+    unsigned Fam = (J % 4 == 3) ? (HomeFam + 1) % S.ElemFamilies : HomeFam;
+    unsigned Var = (M + J) % S.VariantsPerFamily;
+    std::string Box = "Box" + num(Kind);
+    std::string Val = "val" + num(Kind);
+
+    std::string E = Fresh("e"), Bx = Fresh("b"), G = Fresh("g"),
+                C = Fresh("c");
+    Run.alloc(E, "Elem" + num(Fam) + "v" + num(Var));
+    Run.alloc(Bx, Box);
+    Run.store(Bx, Val, E); // direct store: per-site contents stay exact
+    if (R.chance(S.MixedPerMille)) {
+      // Condition-2 violator: a second element of another family in the
+      // same site. Such a site must never be merged (Example 2.4).
+      std::string E2 = Fresh("e");
+      unsigned Fam2 =
+          (Fam + 1 + R.below(S.ElemFamilies - 1)) % S.ElemFamilies;
+      Run.alloc(E2, "Elem" + num(Fam2) + "v0");
+      Run.store(Bx, Val, E2);
+    }
+    // Most sites read back through a direct load (exact under every
+    // analysis); the first few use the shared virtual get(), whose
+    // return value conflates all contents of the kind under ci — the
+    // sites where context-sensitivity visibly pays off. Keeping the
+    // virtual reads rare also keeps the ci pre-analysis fast.
+    if (J < 2)
+      Run.vcall(G, Bx, "get");
+    else
+      Run.load(G, Bx, Val);
+    // The cast target: usually the true family (safe unless mixed);
+    // occasionally a wrong variant — a genuinely unsafe cast that every
+    // sound analysis must report.
+    if (R.chance(S.BadCastPerMille))
+      Run.cast(C,
+               "Elem" + num(Fam) + "v" +
+                   num((Var + 1) % S.VariantsPerFamily),
+               G);
+    else
+      Run.cast(C, "Elem" + num(Fam), G);
+    Run.vcall("", C, "op");
+    if (J == 0) { // static-field cache traffic
+      Run.staticStore(Mod, "cache", Bx);
+      std::string L = Fresh("l"), CC = Fresh("c");
+      Run.staticLoad(L, Mod, "cache");
+      Run.cast(CC, Box, L);
+      Run.vcall("", CC, "get");
+    }
+  }
+
+  // Wrapper chains: allocate the full chain in the module (direct inner
+  // stores), then read through the shared get() chain.
+  for (unsigned J = 0; J < S.WrapSitesPerModule && S.WrapDepth > 0; ++J) {
+    unsigned Kind = (M + J) % S.BoxKinds;
+    unsigned Var = J % S.VariantsPerFamily;
+    std::string E = Fresh("e"), Bx = Fresh("b");
+    Run.alloc(E, "Elem" + num(HomeFam) + "v" + num(Var));
+    Run.alloc(Bx, "Box" + num(Kind));
+    Run.store(Bx, "val" + num(Kind), E);
+    std::string Lower = Bx;
+    for (unsigned L = 1; L <= S.WrapDepth; ++L) {
+      std::string W = Fresh("w");
+      Run.alloc(W, "Wrap" + num(Kind) + "_" + num(L));
+      Run.store(W, "inn" + num(Kind) + "_" + num(L), Lower);
+      Lower = W;
+    }
+    // One observed read per module: the result-carrying read conflates
+    // kind-wide under ci, so keeping it rare keeps the pre-analysis
+    // linear; the remaining chains are exercised result-free.
+    if (J == 0) {
+      std::string G = Fresh("g"), C = Fresh("c");
+      Run.vcall(G, Lower, "get");
+      Run.cast(C, "Elem" + num(HomeFam), G);
+      Run.vcall("", C, "op");
+    } else {
+      Run.vcall("", Lower, "get");
+    }
+  }
+
+  // Never-written sites: their fields stay null in the FPG, forming the
+  // separate all-null equivalence classes of Table 1.
+  for (unsigned J = 0; J < S.NullSitesPerModule; ++J) {
+    std::string Z = Fresh("z");
+    Run.alloc(Z, "Box" + num((M + J) % S.BoxKinds));
+    Run.vcall("", Z, "get");
+  }
+
+  // The module observes pump failures of its family. (No dispatch on
+  // the family-wide payload: that would charge every analysis a flat
+  // receiver-fan-out cost and blur the tier ratios Table 2 needs.)
+  std::string Caught = Fresh("ex"), Why = Fresh("w"), CW = Fresh("c");
+  Run.catchType(Caught, "Err" + num(HomeFam));
+  Run.load(Why, Caught, "why" + num(HomeFam));
+  Run.cast(CW, "Elem" + num(HomeFam), Why);
+}
+
+} // namespace
+
+std::unique_ptr<Program>
+mahjong::workload::buildSyntheticProgram(const WorkloadSpec &S) {
+  ProgramBuilder B;
+  Rng R(S.Seed);
+  emitLibrary(B, S);
+  for (unsigned M = 0; M < S.Modules; ++M)
+    emitModule(B, S, M, R);
+  B.declClass("Main");
+  MethodBuilder &Main = B.method("Main", "main", {}, /*IsStatic=*/true);
+  Main.scall("", "Glob", "init");
+  for (unsigned M = 0; M < S.Modules; ++M)
+    Main.scall("", "Mod" + num(M), "run");
+  std::string Err;
+  auto P = B.finish(Err);
+  if (!P) {
+    std::fprintf(stderr, "workload generator bug (%s): %s\n",
+                 S.Name.c_str(), Err.c_str());
+    std::abort();
+  }
+  return P;
+}

@@ -1,0 +1,89 @@
+//===-- workload/SyntheticBuilder.h - Synthetic programs ------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of Java-like programs with the heap shapes that
+/// drive the paper's evaluation. These stand in for the DaCapo/JPC/
+/// findbugs/checkstyle bytecode (see DESIGN.md §4): what matters for both
+/// the cost of context-sensitive analysis and the benefit of MAHJONG is
+/// the *shape* of the heap, which the generator reproduces with five
+/// patterns:
+///
+///  - "Box" precision pattern: generic containers written by direct
+///    per-site stores (the Object[] pattern) — sites group by the element
+///    family they store; the allocation-type abstraction conflates the
+///    families and loses client precision, MAHJONG does not.
+///  - "Engine" cost pattern: per-(kind,family) factory objects whose
+///    make() allocates containers through a second factory level, so
+///    k-object-sensitive analyses materialize one container context per
+///    engine site. Engines are type-consistent across modules, so MAHJONG
+///    merges them and the context space collapses.
+///  - "Registry" volume pattern: per-family registries accumulating every
+///    element; registry contents are pumped through container put/get and
+///    static utility chains, so baseline points-to sets scale with the
+///    number of element *sites* while MAHJONG-merged sets scale with the
+///    handful of element equivalence classes.
+///  - "Buf" pattern: homogeneous containers written through shared helper
+///    methods (the StringBuilder/char[] pattern) — every site of a kind is
+///    type-consistent and collapses to a single abstract object.
+///  - Wrapper chains, never-written (null) fields, condition-2 violators
+///    (mixed stores and polluted engine logs), static-field caches,
+///    polymorphic call sites and genuinely unsafe casts, so all three
+///    type-dependent clients have real work on both sides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_WORKLOAD_SYNTHETICBUILDER_H
+#define MAHJONG_WORKLOAD_SYNTHETICBUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace mahjong::workload {
+
+/// Size and shape knobs of one synthetic program. Defaults give a small
+/// program suitable for tests; the benchmark profiles scale them up.
+struct WorkloadSpec {
+  std::string Name = "synthetic";
+  uint32_t Seed = 1;
+
+  unsigned ElemFamilies = 4;      ///< element class families
+  unsigned VariantsPerFamily = 3; ///< subclasses per family (dispatch)
+  unsigned BoxKinds = 3;          ///< generic container kinds
+  unsigned BufKinds = 2;          ///< shared-helper homogeneous kinds
+  unsigned Modules = 6;           ///< static module methods called by main
+  unsigned BoxSitesPerModule = 6; ///< direct-store box sites per module
+  unsigned EngineSitesPerModule = 4; ///< factory sites per module
+  unsigned ElemSitesPerModule = 6;///< registry-fed element sites
+  unsigned BufSitesPerModule = 4; ///< buf allocation sites per module
+  unsigned WrapDepth = 2;         ///< wrapper nesting depth (0 = none)
+  unsigned WrapSitesPerModule = 2;
+  unsigned MixedPerMille = 60;    ///< box sites violating condition 2
+  unsigned PollutedEnginePerMille = 0; ///< engines with mixed-kind logs
+  unsigned BadCastPerMille = 50;  ///< fraction of genuinely unsafe casts
+  unsigned NullSitesPerModule = 1;///< never-written container sites
+  unsigned UtilChains = 2;        ///< static utility call chains
+  unsigned UtilChainLength = 4;
+  unsigned BoxHelperChain = 2;    ///< helper-call depth inside Box.get
+  unsigned IterHelperChain = 5;   ///< helper-call depth inside It.next
+  unsigned ElemChainPerMille = 200; ///< chance an element links to its
+                                    ///< predecessor (chain diversity)
+  bool UseIterators = true;       ///< boxes hand out iterator objects
+  bool UseMakerIndirection = false;///< depth-2 factories (ablation)
+};
+
+/// Builds the program described by \p Spec. Generation is deterministic
+/// in the spec (including Seed).
+///
+/// \returns the program; generation cannot fail for well-formed specs, so
+/// a failure aborts with a diagnostic (it would be a generator bug).
+std::unique_ptr<ir::Program> buildSyntheticProgram(const WorkloadSpec &Spec);
+
+} // namespace mahjong::workload
+
+#endif // MAHJONG_WORKLOAD_SYNTHETICBUILDER_H

@@ -1,0 +1,192 @@
+//===-- tests/core/DFACacheTest.cpp ------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Subset construction (Algorithm 3) on the shared cache: determinism,
+// sinks, sharing across roots, and SINGLETYPE-CHECK.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DFACache.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ClassHierarchy> CH;
+  std::unique_ptr<pta::PTAResult> R;
+  std::unique_ptr<FieldPointsToGraph> G;
+  std::unique_ptr<DFACache> Cache;
+};
+
+Built buildGraph(const GraphSpec &Spec) {
+  Built B;
+  B.P = buildGraphProgram(Spec);
+  B.CH = std::make_unique<ClassHierarchy>(*B.P);
+  pta::AnalysisOptions Opts;
+  B.R = pta::runPointerAnalysis(*B.P, *B.CH, Opts);
+  B.G = std::make_unique<FieldPointsToGraph>(*B.R);
+  B.Cache = std::make_unique<DFACache>(*B.G);
+  return B;
+}
+
+FieldId field(const Built &B, unsigned T, unsigned F) {
+  return B.P->findField(B.P->typeByName("T" + std::to_string(T)),
+                        "f" + std::to_string(F));
+}
+
+} // namespace
+
+TEST(DFACache, ErrorStateIsStateZeroWithEmptyOutput) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 1;
+  G.TypeOf = {0};
+  Built B = buildGraph(G);
+  EXPECT_EQ(DFACache::errorState().idx(), 0u);
+  EXPECT_TRUE(B.Cache->outputs(DFACache::errorState()).empty());
+}
+
+TEST(DFACache, NondeterminismCollapsesIntoSetStates) {
+  // o0 --f0--> {o1, o2}: the DFA state after f0 is the two-object set.
+  GraphSpec G;
+  G.NumTypes = 2;
+  G.NumFields = 1;
+  G.TypeOf = {0, 1, 1};
+  G.Edges = {{0, 0, 1}, {0, 0, 2}};
+  Built B = buildGraph(G);
+  DFAStateId S0 = B.Cache->startFor(graphObj(0));
+  DFAStateId S1 = B.Cache->next(S0, field(B, 0, 0));
+  EXPECT_EQ(B.Cache->members(S1),
+            (std::vector<ObjId>{graphObj(1), graphObj(2)}));
+  ASSERT_EQ(B.Cache->outputs(S1).size(), 1u) << "both members are T1";
+}
+
+TEST(DFACache, MissingFieldGoesToError) {
+  GraphSpec G;
+  G.NumTypes = 2;
+  G.NumFields = 2;
+  G.TypeOf = {0, 1};
+  G.Edges = {{0, 0, 1}};
+  Built B = buildGraph(G);
+  DFAStateId S0 = B.Cache->startFor(graphObj(0));
+  DFAStateId S1 = B.Cache->next(S0, field(B, 0, 0)); // {o1, ...}
+  // Probe a field id from another class that o1's set lacks entirely:
+  // if the state contains o_null (via completion) we land on the null
+  // sink, otherwise on q_error — never anywhere else.
+  DFAStateId Sink = B.Cache->next(S1, FieldId(B.P->numFields() - 1));
+  DFAStateId Again = B.Cache->next(S1, FieldId(B.P->numFields() - 1));
+  EXPECT_EQ(Sink, Again) << "deterministic";
+}
+
+TEST(DFACache, NullStateSelfLoops) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 1;
+  G.TypeOf = {0}; // field f0 unwritten -> completes to null
+  Built B = buildGraph(G);
+  DFAStateId S0 = B.Cache->startFor(graphObj(0));
+  DFAStateId Null = B.Cache->next(S0, field(B, 0, 0));
+  ASSERT_EQ(B.Cache->members(Null),
+            (std::vector<ObjId>{Program::nullObj()}));
+  EXPECT_EQ(B.Cache->next(Null, field(B, 0, 0)), Null)
+      << "null self-loop on every field (paper §4.1)";
+  EXPECT_EQ(B.Cache->next(Null, FieldId(0)), Null);
+}
+
+TEST(DFACache, StatesAreSharedAcrossRoots) {
+  // Two roots reaching the same suffix object: one shared state.
+  GraphSpec G;
+  G.NumTypes = 2;
+  G.NumFields = 1;
+  G.TypeOf = {0, 0, 1};
+  G.Edges = {{0, 0, 2}, {1, 0, 2}};
+  Built B = buildGraph(G);
+  DFAStateId A = B.Cache->startFor(graphObj(0));
+  DFAStateId C = B.Cache->startFor(graphObj(1));
+  DFAStateId SuffixA = B.Cache->next(A, field(B, 0, 0));
+  DFAStateId SuffixC = B.Cache->next(C, field(B, 0, 0));
+  EXPECT_EQ(SuffixA, SuffixC) << "shared sequential automata (paper §5)";
+}
+
+TEST(DFACache, SingleTypeCheckAcceptsHomogeneousPaths) {
+  GraphSpec G; // Figure 2-like, every path single-typed
+  G.NumTypes = 3;
+  G.NumFields = 2;
+  G.TypeOf = {0, 1, 1, 2};
+  G.Edges = {{0, 0, 1}, {0, 0, 2}, {1, 1, 3}, {2, 1, 3}};
+  Built B = buildGraph(G);
+  EXPECT_TRUE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(0))));
+}
+
+TEST(DFACache, SingleTypeCheckRejectsMixedTypePaths) {
+  // o0.f0 reaches a T1 and a T2 object: Condition 2 violated (Fig. 3).
+  GraphSpec G;
+  G.NumTypes = 3;
+  G.NumFields = 1;
+  G.TypeOf = {0, 1, 2};
+  G.Edges = {{0, 0, 1}, {0, 0, 2}};
+  Built B = buildGraph(G);
+  EXPECT_FALSE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(0))));
+}
+
+TEST(DFACache, SingleTypeCheckRejectsObjectMixedWithNull) {
+  // o0.f0 may be o1 or null (explicit null store): outputs {T1, null}.
+  auto P = parseOrDie(R"(
+    class A { field f: B; }
+    class B { }
+    class Main {
+      static method main() {
+        a = new A;
+        b = new B;
+        n = null;
+        a.f = b;
+        a.f = n;
+      }
+    }
+  )");
+  ClassHierarchy CH(*P);
+  pta::AnalysisOptions Opts;
+  auto R = pta::runPointerAnalysis(*P, CH, Opts);
+  FieldPointsToGraph G(*R);
+  DFACache Cache(G);
+  EXPECT_FALSE(Cache.allSingletonOutputs(Cache.startFor(ObjId(1))));
+}
+
+TEST(DFACache, MaterializeThenFrozenQueriesAgree) {
+  GraphSpec G;
+  G.NumTypes = 2;
+  G.NumFields = 2;
+  G.TypeOf = {0, 1, 1};
+  G.Edges = {{0, 0, 1}, {0, 1, 2}, {1, 0, 2}};
+  Built B = buildGraph(G);
+  DFAStateId S0 = B.Cache->startFor(graphObj(0));
+  B.Cache->materialize(S0);
+  B.Cache->freeze();
+  EXPECT_TRUE(B.Cache->isFrozen());
+  for (const auto &[F, T] : B.Cache->transitionsFrozen(S0))
+    EXPECT_EQ(B.Cache->nextFrozen(S0, F), T);
+}
+
+TEST(DFACache, CyclesProduceFinitelyManyStates) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 1;
+  G.TypeOf = {0, 0, 0};
+  G.Edges = {{0, 0, 1}, {1, 0, 2}, {2, 0, 0}}; // 3-cycle
+  Built B = buildGraph(G);
+  B.Cache->materialize(B.Cache->startFor(graphObj(0)));
+  EXPECT_LE(B.Cache->numStates(), 8u);
+  EXPECT_TRUE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(0))));
+}

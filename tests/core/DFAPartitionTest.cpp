@@ -1,0 +1,134 @@
+//===-- tests/core/DFAPartitionTest.cpp --------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The global behavioral partition must agree exactly with the pairwise
+// Hopcroft-Karp checker — on hand-written shapes and random graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DFAPartition.h"
+
+#include "../TestUtil.h"
+#include "core/EquivChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ClassHierarchy> CH;
+  std::unique_ptr<pta::PTAResult> R;
+  std::unique_ptr<FieldPointsToGraph> G;
+  std::unique_ptr<DFACache> Cache;
+};
+
+Built buildGraph(const GraphSpec &Spec) {
+  Built B;
+  B.P = buildGraphProgram(Spec);
+  B.CH = std::make_unique<ClassHierarchy>(*B.P);
+  pta::AnalysisOptions Opts;
+  B.R = pta::runPointerAnalysis(*B.P, *B.CH, Opts);
+  B.G = std::make_unique<FieldPointsToGraph>(*B.R);
+  B.Cache = std::make_unique<DFACache>(*B.G);
+  return B;
+}
+
+} // namespace
+
+TEST(DFAPartition, GroupsEquivalentChainTails) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 1;
+  G.TypeOf = {0, 0, 0, 0, 0};
+  G.Edges = {{0, 0, 1}, {2, 0, 3}, {3, 0, 4}};
+  Built B = buildGraph(G);
+  for (unsigned I = 0; I < 5; ++I)
+    B.Cache->materialize(B.Cache->startFor(graphObj(I)));
+  DFAPartition Part(*B.Cache);
+  auto Blk = [&](unsigned I) {
+    return Part.blockOf(B.Cache->startFor(graphObj(I)));
+  };
+  EXPECT_EQ(Blk(1), Blk(4)) << "both tails: T0 with a null field";
+  EXPECT_EQ(Blk(0), Blk(3)) << "both: one hop to a tail";
+  EXPECT_NE(Blk(0), Blk(1));
+  EXPECT_NE(Blk(2), Blk(0)) << "head of the longer chain is distinct";
+}
+
+TEST(DFAPartition, SeparatesByOutputImmediately) {
+  GraphSpec G;
+  G.NumTypes = 2;
+  G.NumFields = 0;
+  G.TypeOf = {0, 1, 0};
+  Built B = buildGraph(G);
+  for (unsigned I = 0; I < 3; ++I)
+    B.Cache->materialize(B.Cache->startFor(graphObj(I)));
+  DFAPartition Part(*B.Cache);
+  EXPECT_EQ(Part.blockOf(B.Cache->startFor(graphObj(0))),
+            Part.blockOf(B.Cache->startFor(graphObj(2))));
+  EXPECT_NE(Part.blockOf(B.Cache->startFor(graphObj(0))),
+            Part.blockOf(B.Cache->startFor(graphObj(1))));
+  EXPECT_GE(Part.numBlocks(), 2u);
+}
+
+TEST(DFAPartition, HandlesCyclesLikeHopcroftKarp) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 1;
+  G.TypeOf = {0, 0, 0, 0};
+  G.Edges = {{0, 0, 0},             // self-loop
+             {1, 0, 2}, {2, 0, 1},  // 2-cycle
+             /* node 3: null field */};
+  Built B = buildGraph(G);
+  for (unsigned I = 0; I < 4; ++I)
+    B.Cache->materialize(B.Cache->startFor(graphObj(I)));
+  DFAPartition Part(*B.Cache);
+  auto Blk = [&](unsigned I) {
+    return Part.blockOf(B.Cache->startFor(graphObj(I)));
+  };
+  EXPECT_EQ(Blk(0), Blk(1)) << "loop === cycle";
+  EXPECT_NE(Blk(0), Blk(3));
+}
+
+class DFAPartitionPropertyTest : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(DFAPartitionPropertyTest, AgreesWithHopcroftKarpOnRandomGraphs) {
+  std::mt19937 Rng(GetParam() * 31337 + 5);
+  GraphSpec G;
+  G.NumTypes = 1 + Rng() % 3;
+  G.NumFields = 1 + Rng() % 3;
+  unsigned N = 8 + Rng() % 10;
+  for (unsigned I = 0; I < N; ++I)
+    G.TypeOf.push_back(Rng() % G.NumTypes);
+  for (unsigned E = 0, M = 6 + Rng() % 20; E < M; ++E) // cycles allowed
+    G.Edges.push_back({static_cast<unsigned>(Rng() % N),
+                       static_cast<unsigned>(Rng() % G.NumFields),
+                       static_cast<unsigned>(Rng() % N)});
+  Built B = buildGraph(G);
+  for (unsigned I = 0; I < N; ++I)
+    B.Cache->materialize(B.Cache->startFor(graphObj(I)));
+  DFAPartition Part(*B.Cache);
+  EquivChecker Checker(*B.Cache);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < N; ++J) {
+      DFAStateId SI = B.Cache->startFor(graphObj(I));
+      DFAStateId SJ = B.Cache->startFor(graphObj(J));
+      ASSERT_EQ(Part.blockOf(SI) == Part.blockOf(SJ),
+                Checker.equivalent(SI, SJ))
+          << "objects " << I << "," << J << " (seed " << GetParam() << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DFAPartitionPropertyTest,
+                         ::testing::Range(1u, 21u));

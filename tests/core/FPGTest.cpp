@@ -1,0 +1,149 @@
+//===-- tests/core/FPGTest.cpp -----------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FieldPointsToGraph.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+namespace {
+
+std::unique_ptr<FieldPointsToGraph> buildFPG(const Analyzed &A) {
+  return std::make_unique<FieldPointsToGraph>(*A.R);
+}
+
+} // namespace
+
+TEST(FPG, EdgesFollowFieldPointsTo) {
+  auto A = analyze(R"(
+    class T { field f: T; field g: T; }
+    class Main {
+      static method main() {
+        a = new T;   // o1
+        b = new T;   // o2
+        a.f = b;
+      }
+    }
+  )");
+  auto G = buildFPG(A);
+  const std::vector<ObjId> &F = G->succ(ObjId(1), A.P->findField(
+                                                      A.P->typeByName("T"),
+                                                      "f"));
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], ObjId(2));
+}
+
+TEST(FPG, NeverWrittenFieldsPointToNull) {
+  auto A = analyze(R"(
+    class T { field f: T; field g: T; }
+    class Main {
+      static method main() { a = new T; b = new T; a.f = b; }
+    }
+  )");
+  auto G = buildFPG(A);
+  FieldId GField = A.P->findField(A.P->typeByName("T"), "g");
+  const std::vector<ObjId> &Succ = G->succ(ObjId(1), GField);
+  ASSERT_EQ(Succ.size(), 1u);
+  EXPECT_EQ(Succ[0], Program::nullObj()) << "null completion (paper §4.1)";
+  // o2 has both fields null-completed.
+  EXPECT_EQ(G->succ(ObjId(2), GField).front(), Program::nullObj());
+}
+
+TEST(FPG, NullHasSelfLoopsOnEveryField) {
+  auto A = analyze(R"(
+    class T { field f: T; }
+    class Main { static method main() { a = new T; } }
+  )");
+  auto G = buildFPG(A);
+  FieldId F = A.P->findField(A.P->typeByName("T"), "f");
+  const std::vector<ObjId> &Succ = G->succ(Program::nullObj(), F);
+  ASSERT_EQ(Succ.size(), 1u);
+  EXPECT_EQ(Succ[0], Program::nullObj());
+}
+
+TEST(FPG, ExplicitNullStoreAddsNullEdge) {
+  auto A = analyze(R"(
+    class T { field f: T; }
+    class Main {
+      static method main() {
+        a = new T;
+        b = new T;
+        n = null;
+        a.f = b;
+        a.f = n;   // both a real object and null flow into a.f
+      }
+    }
+  )");
+  auto G = buildFPG(A);
+  FieldId F = A.P->findField(A.P->typeByName("T"), "f");
+  const std::vector<ObjId> &Succ = G->succ(ObjId(1), F);
+  EXPECT_EQ(Succ.size(), 2u);
+  EXPECT_EQ(Succ[0], Program::nullObj());
+  EXPECT_EQ(Succ[1], ObjId(2));
+}
+
+TEST(FPG, UnreachableObjectsExcluded) {
+  auto A = analyze(R"(
+    class T { field f: T; }
+    class Main {
+      static method main() { a = new T; }
+      static method dead() { b = new T; }
+    }
+  )");
+  auto G = buildFPG(A);
+  EXPECT_TRUE(G->isReachable(ObjId(1)));
+  EXPECT_FALSE(G->isReachable(ObjId(2)));
+  EXPECT_EQ(G->numReachableObjs(), 1u);
+  EXPECT_EQ(G->reachableObjs(), (std::vector<ObjId>{ObjId(1)}));
+}
+
+TEST(FPG, MissingFieldHasNoSuccessors) {
+  auto A = analyze(R"(
+    class T { field f: T; }
+    class U { field g: U; }
+    class Main { static method main() { a = new T; b = new U; } }
+  )");
+  auto G = buildFPG(A);
+  FieldId GField = A.P->findField(A.P->typeByName("U"), "g");
+  EXPECT_TRUE(G->succ(ObjId(1), GField).empty()) << "T has no field g";
+}
+
+TEST(FPG, NfaSizeCountsReachableObjects) {
+  // Figure 2 shape: o1 -> {f: o3, g: o5}, o3 -> {h: o7}, o5 -> {k: o7}.
+  GraphSpec G;
+  G.NumTypes = 4;
+  G.NumFields = 4;
+  G.TypeOf = {0, 1, 2, 3}; // nodes 0..3
+  G.Edges = {{0, 0, 1}, {0, 1, 2}, {1, 2, 3}, {2, 3, 3}};
+  auto P = buildGraphProgram(G);
+  ClassHierarchy CH(*P);
+  pta::AnalysisOptions Opts;
+  auto R = pta::runPointerAnalysis(*P, CH, Opts);
+  FieldPointsToGraph FPG(*R);
+  // From node 0: all 4 nodes + o_null (unwritten fields complete to null).
+  EXPECT_EQ(FPG.nfaSize(graphObj(0)), 5u);
+  // From node 3 (a leaf with all-null fields): itself + o_null.
+  EXPECT_EQ(FPG.nfaSize(graphObj(3)), 2u);
+}
+
+TEST(FPG, EdgeAndFieldCountsAreConsistent) {
+  auto A = analyze(R"(
+    class T { field f: T; }
+    class Main {
+      static method main() { a = new T; b = new T; a.f = b; }
+    }
+  )");
+  auto G = buildFPG(A);
+  // Edges: (o1,f,o2) + null completion (o2,f,null) = 2.
+  EXPECT_EQ(G->numEdges(), 2u);
+  EXPECT_EQ(G->numFieldsUsed(), 1u);
+}

@@ -1,0 +1,102 @@
+//===-- tests/core/GraphExportTest.cpp ---------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GraphExport.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::test;
+
+namespace {
+
+const char *Src = R"(
+  class A { field f: B; }
+  class B { }
+  class Main {
+    static method main() {
+      a = new A;
+      b = new B;
+      a.f = b;
+      Main::helper();
+    }
+    static method helper() { }
+  }
+)";
+
+struct Built {
+  Analyzed A;
+  std::unique_ptr<FieldPointsToGraph> G;
+};
+
+Built build() {
+  Built B;
+  B.A = analyze(Src);
+  B.G = std::make_unique<FieldPointsToGraph>(*B.A.R);
+  return B;
+}
+
+} // namespace
+
+TEST(GraphExport, FpgDotContainsNodesAndEdges) {
+  Built B = build();
+  std::string Dot = fpgToDot(*B.G, ObjId(1));
+  EXPECT_NE(Dot.find("digraph fpg"), std::string::npos);
+  EXPECT_NE(Dot.find("o1: A"), std::string::npos);
+  EXPECT_NE(Dot.find("o2: B"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"f\""), std::string::npos);
+  EXPECT_EQ(Dot.find("truncated"), std::string::npos);
+  EXPECT_EQ(Dot.back(), '\n');
+}
+
+TEST(GraphExport, FpgDotHonorsNodeCap) {
+  Built B = build();
+  std::string Dot = fpgToDot(*B.G, ObjId(1), 1);
+  EXPECT_NE(Dot.find("truncated"), std::string::npos);
+}
+
+TEST(GraphExport, DfaDotMarksStartAndStates) {
+  Built B = build();
+  DFACache Cache(*B.G);
+  std::string Dot = dfaToDot(*B.G, Cache, ObjId(1));
+  EXPECT_NE(Dot.find("digraph dfa"), std::string::npos);
+  EXPECT_NE(Dot.find("{o1}"), std::string::npos);
+  EXPECT_NE(Dot.find("style=bold"), std::string::npos);
+  EXPECT_NE(Dot.find("-> {A}"), std::string::npos);
+}
+
+TEST(GraphExport, DfaDotFlagsMixedStates) {
+  // A condition-2 violation shows up as a red state.
+  auto A = analyze(R"(
+    class T { field f: Object; }
+    class X { }
+    class Y { }
+    class Main {
+      static method main() {
+        t = new T;
+        m = new X;
+        t.f = m;
+        n = new Y;
+        t.f = n;
+      }
+    }
+  )");
+  FieldPointsToGraph G(*A.R);
+  DFACache Cache(G);
+  std::string Dot = dfaToDot(G, Cache, ObjId(1));
+  EXPECT_NE(Dot.find("color=red"), std::string::npos);
+}
+
+TEST(GraphExport, CallGraphDotListsEdges) {
+  Built B = build();
+  std::string Dot = callGraphToDot(*B.A.R);
+  EXPECT_NE(Dot.find("Main.main/0"), std::string::npos);
+  EXPECT_NE(Dot.find("Main.helper/0"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+}

@@ -1,0 +1,118 @@
+//===-- tests/core/NFATest.cpp -----------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The NFA view of the FPG (paper Figure 4 / Algorithm 2), checked against
+// the paper's running example (Figure 2 / Example 2.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NFA.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+namespace {
+
+/// The paper's Figure 2, right automaton: o2<T> --f--> o4<U> --h--> o8<Y>,
+/// o2 --g--> o6<X> --k--> o8. Types: T=0, U=1, X=2, Y=3; fields f=0, g=1,
+/// h=2, k=3.
+GraphSpec figure2Right() {
+  GraphSpec G;
+  G.NumTypes = 4;
+  G.NumFields = 4;
+  G.TypeOf = {0, 1, 2, 3};
+  G.Edges = {{0, 0, 1}, {0, 1, 2}, {1, 2, 3}, {2, 3, 3}};
+  return G;
+}
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ClassHierarchy> CH;
+  std::unique_ptr<pta::PTAResult> R;
+  std::unique_ptr<FieldPointsToGraph> G;
+};
+
+Built buildGraph(const GraphSpec &Spec) {
+  Built B;
+  B.P = buildGraphProgram(Spec);
+  B.CH = std::make_unique<ClassHierarchy>(*B.P);
+  pta::AnalysisOptions Opts;
+  B.R = pta::runPointerAnalysis(*B.P, *B.CH, Opts);
+  B.G = std::make_unique<FieldPointsToGraph>(*B.R);
+  return B;
+}
+
+} // namespace
+
+TEST(NFA, Example22StatesAndAlphabet) {
+  Built B = buildGraph(figure2Right());
+  NFA A(*B.G, graphObj(0));
+  // Q = {o_T, o_U, o_X, o_Y, o_null}: the paper's four objects plus the
+  // null completion of the leaf/unused fields.
+  EXPECT_EQ(A.numStates(), 5u);
+  EXPECT_EQ(A.start(), graphObj(0));
+  // Σ = every field of every reachable object. Each of T0..T3 declares
+  // its own f0..f3 (unwritten ones null-completed), so 16 symbols.
+  EXPECT_EQ(A.alphabet().size(), 16u);
+}
+
+TEST(NFA, TransitionsFollowTheGraph) {
+  Built B = buildGraph(figure2Right());
+  NFA A(*B.G, graphObj(0));
+  FieldId F0 = B.P->findField(B.P->typeByName("T0"), "f0");
+  const std::vector<ObjId> &Next = A.next(graphObj(0), F0);
+  ASSERT_EQ(Next.size(), 1u);
+  EXPECT_EQ(Next[0], graphObj(1));
+}
+
+TEST(NFA, OutputMapIsTheObjectType) {
+  Built B = buildGraph(figure2Right());
+  NFA A(*B.G, graphObj(0));
+  EXPECT_EQ(B.P->type(A.output(graphObj(0))).Name, "T0");
+  EXPECT_EQ(B.P->type(A.output(graphObj(3))).Name, "T3");
+  EXPECT_EQ(A.output(Program::nullObj()), B.P->nullType());
+}
+
+TEST(NFA, NondeterminismFromMultiTargetFields) {
+  // One field pointing to two objects: the defining NFA feature.
+  GraphSpec G;
+  G.NumTypes = 2;
+  G.NumFields = 1;
+  G.TypeOf = {0, 1, 1};
+  G.Edges = {{0, 0, 1}, {0, 0, 2}};
+  Built B = buildGraph(G);
+  NFA A(*B.G, graphObj(0));
+  FieldId F0 = B.P->findField(B.P->typeByName("T0"), "f0");
+  EXPECT_EQ(A.next(graphObj(0), F0).size(), 2u);
+}
+
+TEST(NFA, SingleStateForLeafObjectWithoutFields) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 0; // classes declare no fields at all
+  G.TypeOf = {0};
+  Built B = buildGraph(G);
+  NFA A(*B.G, graphObj(0));
+  EXPECT_EQ(A.numStates(), 1u);
+  EXPECT_TRUE(A.alphabet().empty());
+}
+
+TEST(NFA, CyclicGraphsTerminate) {
+  GraphSpec G;
+  G.NumTypes = 1;
+  G.NumFields = 1;
+  G.TypeOf = {0, 0};
+  G.Edges = {{0, 0, 1}, {1, 0, 0}}; // 2-cycle
+  Built B = buildGraph(G);
+  NFA A(*B.G, graphObj(0));
+  EXPECT_EQ(A.numStates(), 2u);
+}

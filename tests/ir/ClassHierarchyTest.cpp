@@ -1,0 +1,112 @@
+//===-- tests/ir/ClassHierarchyTest.cpp --------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ClassHierarchy.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+namespace {
+
+const char *HierarchySrc = R"(
+  class A { method m() { return this; } method only_a() { return this; } }
+  class B extends A { method m() { return this; } }
+  class C extends B { }
+  class D extends A { }
+  class E { abstract method n(); }
+  class F extends E { method n() { return this; } }
+  class Main { static method main() { x = new A[]; y = new B[]; } }
+)";
+
+class ClassHierarchyTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    P = parseOrDie(HierarchySrc);
+    CH = std::make_unique<ClassHierarchy>(*P);
+  }
+  TypeId ty(const char *Name) { return P->typeByName(Name); }
+
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ClassHierarchy> CH;
+};
+
+} // namespace
+
+TEST_F(ClassHierarchyTest, ReflexiveSubtyping) {
+  for (const char *Name : {"A", "B", "C", "Object"})
+    EXPECT_TRUE(CH->isSubtype(ty(Name), ty(Name))) << Name;
+}
+
+TEST_F(ClassHierarchyTest, TransitiveSubtyping) {
+  EXPECT_TRUE(CH->isSubtype(ty("C"), ty("B")));
+  EXPECT_TRUE(CH->isSubtype(ty("C"), ty("A")));
+  EXPECT_TRUE(CH->isSubtype(ty("C"), P->objectType()));
+  EXPECT_FALSE(CH->isSubtype(ty("A"), ty("C")));
+  EXPECT_FALSE(CH->isSubtype(ty("D"), ty("B"))) << "siblings unrelated";
+}
+
+TEST_F(ClassHierarchyTest, EverythingIsAnObject) {
+  EXPECT_TRUE(CH->isSubtype(ty("A[]"), P->objectType()));
+  EXPECT_TRUE(CH->isSubtype(P->nullType(), P->objectType()));
+}
+
+TEST_F(ClassHierarchyTest, NullIsBottom) {
+  for (const char *Name : {"A", "B", "A[]"})
+    EXPECT_TRUE(CH->isSubtype(P->nullType(), ty(Name))) << Name;
+  EXPECT_FALSE(CH->isSubtype(ty("A"), P->nullType()));
+}
+
+TEST_F(ClassHierarchyTest, ArraysAreCovariant) {
+  EXPECT_TRUE(CH->isSubtype(ty("B[]"), ty("A[]")));
+  EXPECT_FALSE(CH->isSubtype(ty("A[]"), ty("B[]")));
+  EXPECT_FALSE(CH->isSubtype(ty("A[]"), ty("A"))) << "array vs scalar";
+  EXPECT_FALSE(CH->isSubtype(ty("A"), ty("A[]")));
+}
+
+TEST_F(ClassHierarchyTest, DispatchFindsOverride) {
+  EXPECT_EQ(CH->resolveVirtual(ty("B"), "m/0"),
+            P->methodBySignature("B.m/0"));
+  EXPECT_EQ(CH->resolveVirtual(ty("C"), "m/0"),
+            P->methodBySignature("B.m/0")) << "inherited override";
+  EXPECT_EQ(CH->resolveVirtual(ty("A"), "m/0"),
+            P->methodBySignature("A.m/0"));
+  EXPECT_EQ(CH->resolveVirtual(ty("D"), "m/0"),
+            P->methodBySignature("A.m/0")) << "inherited base method";
+}
+
+TEST_F(ClassHierarchyTest, DispatchInheritsNonOverridden) {
+  EXPECT_EQ(CH->resolveVirtual(ty("C"), "only_a/0"),
+            P->methodBySignature("A.only_a/0"));
+}
+
+TEST_F(ClassHierarchyTest, DispatchOnMissingMethodFails) {
+  EXPECT_FALSE(CH->resolveVirtual(ty("A"), "nope/0").isValid());
+  EXPECT_FALSE(CH->resolveVirtual(ty("A"), "m/3").isValid())
+      << "arity is part of the dispatch key";
+}
+
+TEST_F(ClassHierarchyTest, AbstractMethodsNeverResolve) {
+  EXPECT_FALSE(CH->resolveVirtual(ty("E"), "n/0").isValid());
+  EXPECT_EQ(CH->resolveVirtual(ty("F"), "n/0"),
+            P->methodBySignature("F.n/0"));
+}
+
+TEST_F(ClassHierarchyTest, SubclassesIncludeSelfAndDescendants) {
+  const std::vector<TypeId> &Subs = CH->subclassesOf(ty("A"));
+  EXPECT_EQ(Subs.size(), 4u); // A, B, C, D
+  EXPECT_EQ(CH->subclassesOf(ty("C")).size(), 1u);
+}
+
+TEST_F(ClassHierarchyTest, DepthIsPathLengthFromObject) {
+  EXPECT_EQ(CH->depth(P->objectType()), 0u);
+  EXPECT_EQ(CH->depth(ty("A")), 1u);
+  EXPECT_EQ(CH->depth(ty("C")), 3u);
+}

@@ -1,0 +1,90 @@
+//===-- tests/ir/LexerTest.cpp -----------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong::ir;
+
+static std::vector<TokKind> kinds(std::string_view Src) {
+  std::vector<TokKind> Kinds;
+  for (const Token &T : tokenize(Src))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(kinds(""), (std::vector<TokKind>{TokKind::Eof}));
+  EXPECT_EQ(kinds("   \n\t "), (std::vector<TokKind>{TokKind::Eof}));
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = tokenize("class Foo extends Bar field method static "
+                       "abstract new null return special foo_1 $ret");
+  std::vector<TokKind> Want = {
+      TokKind::KwClass,  TokKind::Ident,     TokKind::KwExtends,
+      TokKind::Ident,    TokKind::KwField,   TokKind::KwMethod,
+      TokKind::KwStatic, TokKind::KwAbstract, TokKind::KwNew,
+      TokKind::KwNull,   TokKind::KwReturn,  TokKind::KwSpecial,
+      TokKind::Ident,    TokKind::Ident,     TokKind::Eof};
+  ASSERT_EQ(Toks.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    EXPECT_EQ(Toks[I].Kind, Want[I]) << "token " << I;
+  EXPECT_EQ(Toks[1].Text, "Foo");
+  EXPECT_EQ(Toks[12].Text, "foo_1");
+  EXPECT_EQ(Toks[13].Text, "$ret");
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kinds("{ } ( ) [ ] ; , . = : ::"),
+            (std::vector<TokKind>{
+                TokKind::LBrace, TokKind::RBrace, TokKind::LParen,
+                TokKind::RParen, TokKind::LBracket, TokKind::RBracket,
+                TokKind::Semi, TokKind::Comma, TokKind::Dot, TokKind::Eq,
+                TokKind::Colon, TokKind::ColonColon, TokKind::Eof}));
+}
+
+TEST(Lexer, ColonColonIsOneToken) {
+  auto Toks = tokenize("A::f");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[1].Kind, TokKind::ColonColon);
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(kinds("x // comment with class new null\ny"),
+            (std::vector<TokKind>{TokKind::Ident, TokKind::Ident,
+                                  TokKind::Eof}));
+}
+
+TEST(Lexer, BlockComments) {
+  EXPECT_EQ(kinds("x /* multi \n line */ y"),
+            (std::vector<TokKind>{TokKind::Ident, TokKind::Ident,
+                                  TokKind::Eof}));
+  // Unterminated block comment consumes to end of input, no crash.
+  EXPECT_EQ(kinds("x /* never closed"),
+            (std::vector<TokKind>{TokKind::Ident, TokKind::Eof}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Toks = tokenize("a\n  b");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[0].Col, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[1].Col, 3u);
+}
+
+TEST(Lexer, InvalidCharactersBecomeErrorTokens) {
+  auto Toks = tokenize("a # b");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Error);
+  EXPECT_EQ(Toks[1].Text, "#");
+}
+
+TEST(Lexer, TokKindNamesAreNonEmpty) {
+  for (int K = 0; K <= static_cast<int>(TokKind::Error); ++K)
+    EXPECT_FALSE(tokKindName(static_cast<TokKind>(K)).empty());
+}

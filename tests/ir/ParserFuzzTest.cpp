@@ -1,0 +1,130 @@
+//===-- tests/ir/ParserFuzzTest.cpp ------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Robustness property: the parser must never crash and never hang — it
+// either produces a program or a located diagnostic — for arbitrary
+// token soup, truncated valid programs, and mutated valid programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+namespace {
+
+/// Runs the parser and only checks the contract: result XOR diagnostic.
+void expectGraceful(const std::string &Src) {
+  std::string Err;
+  auto P = parseProgram(Src, Err);
+  if (P)
+    EXPECT_TRUE(Err.empty());
+  else
+    EXPECT_FALSE(Err.empty()) << "failed without a diagnostic";
+}
+
+const char *ValidProgram = R"(
+class A { field f: A; method m(p) { this.f = p; return p; } }
+class B extends A { method m(p) { return this; } }
+class Main {
+  static method main() {
+    a = new A;
+    b = new B;
+    a.m(b);
+    c = (B) b;
+    arr = new A[];
+    arr[] = a;
+    x = arr[];
+    throw a;
+    e = catch A;
+  }
+}
+)";
+
+} // namespace
+
+class ParserFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupIsHandledGracefully) {
+  std::mt19937 Rng(GetParam() * 2654435761u + 17);
+  static const char *Pieces[] = {
+      "class", "extends", "field", "method", "static", "abstract", "new",
+      "null", "return", "special", "throw", "catch", "{", "}", "(", ")",
+      "[", "]", ";", ",", ".", "=", ":", "::", "A", "B", "Main", "main",
+      "x", "y", "f", "m", "#", "@",
+  };
+  std::string Src;
+  for (int I = 0, N = 20 + Rng() % 120; I < N; ++I) {
+    Src += Pieces[Rng() % (sizeof(Pieces) / sizeof(*Pieces))];
+    Src += ' ';
+  }
+  expectGraceful(Src);
+}
+
+TEST_P(ParserFuzzTest, TruncatedValidProgramsAreHandledGracefully) {
+  std::string Full = ValidProgram;
+  std::mt19937 Rng(GetParam() * 40503u + 3);
+  size_t Cut = Rng() % Full.size();
+  expectGraceful(Full.substr(0, Cut));
+}
+
+TEST_P(ParserFuzzTest, MutatedValidProgramsAreHandledGracefully) {
+  std::string Src = ValidProgram;
+  std::mt19937 Rng(GetParam() * 69069u + 11);
+  for (int M = 0, N = 1 + Rng() % 4; M < N; ++M) {
+    size_t Pos = Rng() % Src.size();
+    switch (Rng() % 3) {
+    case 0:
+      Src[Pos] = static_cast<char>("{}();=.:"[Rng() % 8]);
+      break;
+    case 1:
+      Src.erase(Pos, 1 + Rng() % 3);
+      break;
+    case 2:
+      Src.insert(Pos, 1, static_cast<char>(' ' + Rng() % 94));
+      break;
+    }
+  }
+  expectGraceful(Src);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1u, 41u));
+
+TEST(ParserEdge, EmptyAndWhitespaceOnly) {
+  for (const char *Src : {"", "   ", "\n\n\t", "// only a comment\n",
+                          "/* only a block comment */"}) {
+    std::string Err;
+    EXPECT_EQ(parseProgram(Src, Err), nullptr) << "no entry method";
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(ParserEdge, DeeplyNestedArrayTypes) {
+  std::string Src = "class A { } class Main { static method main() { "
+                    "x = new A";
+  for (int I = 0; I < 40; ++I)
+    Src += "[]";
+  Src += "; } }";
+  std::string Err;
+  auto P = parseProgram(Src, Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_GE(P->numTypes(), 42u);
+}
+
+TEST(ParserEdge, LongIdentifiers) {
+  std::string Long(2000, 'x');
+  std::string Src = "class " + Long + " { } class Main { "
+                    "static method main() { v = new " + Long + "; } }";
+  std::string Err;
+  auto P = parseProgram(Src, Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_TRUE(P->typeByName(Long).isValid());
+}

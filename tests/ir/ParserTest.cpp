@@ -1,0 +1,222 @@
+//===-- tests/ir/ParserTest.cpp ----------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+static std::string parseError(std::string_view Src) {
+  std::string Err;
+  auto P = parseProgram(Src, Err);
+  EXPECT_EQ(P, nullptr) << "expected a parse error";
+  return Err;
+}
+
+TEST(Parser, MinimalProgram) {
+  auto P = parseOrDie("class Main { static method main() { } }");
+  EXPECT_TRUE(P->entryMethod().isValid());
+  EXPECT_EQ(P->method(P->entryMethod()).Signature, "Main.main/0");
+}
+
+TEST(Parser, FieldsAndInheritance) {
+  auto P = parseOrDie(R"(
+    class A { field f: A; static field g: B; }
+    class B extends A { }
+    class Main { static method main() { } }
+  )");
+  TypeId A = P->typeByName("A");
+  TypeId B = P->typeByName("B");
+  ASSERT_TRUE(A.isValid());
+  ASSERT_TRUE(B.isValid());
+  EXPECT_EQ(P->type(B).Super, A);
+  EXPECT_EQ(P->type(A).Fields.size(), 2u);
+  FieldId F = P->findField(B, "f"); // inherited
+  ASSERT_TRUE(F.isValid());
+  EXPECT_FALSE(P->field(F).IsStatic);
+}
+
+TEST(Parser, AllStatementForms) {
+  auto P = parseOrDie(R"(
+    class A {
+      field f: A;
+      static field s: A;
+      method m(p) { return p; }
+    }
+    class Main {
+      static method main() {
+        x = new A;
+        y = x;
+        z = null;
+        x.f = y;
+        w = x.f;
+        q = x.A::f;
+        x.A::f = y;
+        A::s = x;
+        t = A::s;
+        c = (A) y;
+        r = x.m(y);
+        x.m(y);
+        u = Main::helper(x);
+        Main::helper(x);
+        arr = new A[];
+        arr[] = x;
+        e = arr[];
+        sp = special x.A::m(y);
+        special x.A::m(y);
+      }
+      static method helper(a) { return a; }
+    }
+  )");
+  const MethodInfo &Main = P->method(P->entryMethod());
+  EXPECT_EQ(Main.Body.size(), 19u);
+  EXPECT_GE(P->numCallSites(), 6u);
+  EXPECT_EQ(P->numCastSites(), 1u);
+}
+
+TEST(Parser, ArrayTypesSpringIntoExistence) {
+  auto P = parseOrDie(R"(
+    class A { }
+    class Main { static method main() { x = new A[]; y = new A[][]; } }
+  )");
+  TypeId Arr = P->typeByName("A[]");
+  TypeId Arr2 = P->typeByName("A[][]");
+  ASSERT_TRUE(Arr.isValid());
+  ASSERT_TRUE(Arr2.isValid());
+  EXPECT_EQ(P->type(Arr).Kind, TypeKind::Array);
+  EXPECT_EQ(P->type(Arr).Elem, P->typeByName("A"));
+  EXPECT_EQ(P->type(Arr2).Elem, Arr);
+}
+
+TEST(Parser, ParamAndReturnTypeAnnotationsAreAccepted) {
+  auto P = parseOrDie(R"(
+    class A { method m(p: A, q: A[]): A { return p; } }
+    class Main { static method main() { } }
+  )");
+  MethodId M = P->methodBySignature("A.m/2");
+  ASSERT_TRUE(M.isValid());
+  EXPECT_EQ(P->method(M).Params.size(), 2u);
+}
+
+TEST(Parser, AbstractMethods) {
+  auto P = parseOrDie(R"(
+    class A { abstract method m(p); }
+    class B extends A { method m(p) { return p; } }
+    class Main { static method main() { } }
+  )");
+  MethodId AM = P->methodBySignature("A.m/1");
+  ASSERT_TRUE(AM.isValid());
+  EXPECT_TRUE(P->method(AM).IsAbstract);
+  EXPECT_FALSE(P->method(P->methodBySignature("B.m/1")).IsAbstract);
+}
+
+TEST(Parser, CommentsAnywhere) {
+  auto P = parseOrDie(R"(
+    // leading
+    class A { /* inline */ field f: A; }
+    class Main { static method main() { x = new A; /* trailing */ } }
+  )");
+  EXPECT_TRUE(P->typeByName("A").isValid());
+}
+
+// --- Error cases: each must produce a located, specific diagnostic. ---
+
+TEST(ParserErrors, MissingEntry) {
+  EXPECT_NE(parseError("class A { }").find("entry"), std::string::npos);
+}
+
+TEST(ParserErrors, UnknownSuperclass) {
+  EXPECT_NE(parseError("class A extends Nope { } "
+                       "class Main { static method main() { } }")
+                .find("Nope"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, UnknownTypeInAlloc) {
+  EXPECT_NE(parseError("class Main { static method main() { x = new Zed; } }")
+                .find("Zed"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, UnterminatedClass) {
+  EXPECT_NE(parseError("class A { field f: A;").find("unterminated"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, MalformedStatement) {
+  std::string Err = parseError(
+      "class Main { static method main() { x + y; } }");
+  EXPECT_NE(Err.find(":"), std::string::npos) << "diagnostic has location";
+}
+
+TEST(ParserErrors, MissingSemicolon) {
+  EXPECT_NE(parseError("class A { field f: A } "
+                       "class Main { static method main() { } }")
+                .find("';'"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, DuplicateClass) {
+  EXPECT_NE(parseError("class A { } class A { } "
+                       "class Main { static method main() { } }")
+                .find("duplicate"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, DuplicateField) {
+  EXPECT_NE(parseError("class A { field f: A; field f: A; } "
+                       "class Main { static method main() { } }")
+                .find("duplicate"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, InheritanceCycle) {
+  EXPECT_NE(parseError("class A extends B { } class B extends A { } "
+                       "class Main { static method main() { } }")
+                .find("cycle"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, UnresolvedStaticCall) {
+  EXPECT_NE(parseError("class Main { static method main() { Main::nope(); } }")
+                .find("nope"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, AmbiguousUnqualifiedField) {
+  std::string Err = parseError(R"(
+    class A { field f: A; }
+    class B { field f: B; }
+    class Main { static method main() { a = new A; a.f = a; } }
+  )");
+  EXPECT_NE(Err.find("ambiguous"), std::string::npos);
+}
+
+TEST(ParserErrors, QualifiedFieldResolvesAmbiguity) {
+  auto P = parseOrDie(R"(
+    class A { field f: A; }
+    class B { field f: B; }
+    class Main { static method main() { a = new A; a.A::f = a; } }
+  )");
+  EXPECT_TRUE(P->typeByName("A").isValid());
+}
+
+TEST(ParserErrors, StaticAbstractRejected) {
+  EXPECT_NE(parseError("class A { static abstract method m(); } "
+                       "class Main { static method main() { } }")
+                .find("static and abstract"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, ErrorHasLineAndColumn) {
+  std::string Err = parseError("class A {\n  field : A;\n}");
+  EXPECT_EQ(Err.substr(0, 2), "2:");
+}

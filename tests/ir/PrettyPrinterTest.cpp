@@ -1,0 +1,110 @@
+//===-- tests/ir/PrettyPrinterTest.cpp ---------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PrettyPrinter.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+namespace {
+
+/// Prints the Nth statement of a method.
+std::string stmtText(const Program &P, const char *Sig, size_t N) {
+  const MethodInfo &M = P.method(P.methodBySignature(Sig));
+  EXPECT_LT(N, M.Body.size());
+  return printStmt(P, M.Body[N]);
+}
+
+} // namespace
+
+TEST(PrettyPrinter, StatementForms) {
+  auto P = parseOrDie(R"(
+    class A {
+      field f: A;
+      static field s: A;
+      method m(p) { return p; }
+    }
+    class Main {
+      static method main() {
+        x = new A;
+        y = x;
+        z = null;
+        x.f = y;
+        w = x.f;
+        A::s = x;
+        t = A::s;
+        c = (A) y;
+        r = x.m(y);
+        u = Main::id(x);
+        sp = special x.A::m(y);
+        arr = new A[];
+        arr[] = x;
+        e = arr[];
+        throw x;
+        cc = catch A;
+      }
+      static method id(a) { return a; }
+    }
+  )");
+  const char *Main = "Main.main/0";
+  EXPECT_EQ(stmtText(*P, Main, 0), "x = new A;");
+  EXPECT_EQ(stmtText(*P, Main, 1), "y = x;");
+  EXPECT_EQ(stmtText(*P, Main, 2), "z = null;");
+  EXPECT_EQ(stmtText(*P, Main, 3), "x.A::f = y;");
+  EXPECT_EQ(stmtText(*P, Main, 4), "w = x.A::f;");
+  EXPECT_EQ(stmtText(*P, Main, 5), "A::s = x;");
+  EXPECT_EQ(stmtText(*P, Main, 6), "t = A::s;");
+  EXPECT_EQ(stmtText(*P, Main, 7), "c = (A) y;");
+  EXPECT_EQ(stmtText(*P, Main, 8), "r = x.m(y);");
+  EXPECT_EQ(stmtText(*P, Main, 9), "u = Main::id(x);");
+  EXPECT_EQ(stmtText(*P, Main, 10), "sp = special x.A::m(y);");
+  EXPECT_EQ(stmtText(*P, Main, 11), "arr = new A[];");
+  EXPECT_EQ(stmtText(*P, Main, 12), "arr[] = x;");
+  EXPECT_EQ(stmtText(*P, Main, 13), "e = arr[];");
+  EXPECT_EQ(stmtText(*P, Main, 14), "throw x;");
+  EXPECT_EQ(stmtText(*P, Main, 15), "cc = catch A;");
+  EXPECT_EQ(stmtText(*P, "A.m/1", 0), "return p;");
+}
+
+TEST(PrettyPrinter, ResultlessCallsPrintWithoutAssignment) {
+  auto P = parseOrDie(R"(
+    class A { method m() { return this; } }
+    class Main { static method main() { x = new A; x.m(); } }
+  )");
+  EXPECT_EQ(stmtText(*P, "Main.main/0", 1), "x.m();");
+}
+
+TEST(PrettyPrinter, ProgramHeaderAndMembers) {
+  auto P = parseOrDie(R"(
+    class A { field f: A; }
+    class B extends A { abstract method m(p, q); }
+    class Main { static method main() { } }
+  )");
+  std::string Text = printProgram(*P);
+  EXPECT_NE(Text.find("class A {"), std::string::npos);
+  EXPECT_NE(Text.find("class B extends A {"), std::string::npos);
+  EXPECT_NE(Text.find("field f: A;"), std::string::npos);
+  EXPECT_NE(Text.find("abstract method m(p, q);"), std::string::npos);
+  EXPECT_NE(Text.find("static method main()"), std::string::npos);
+  EXPECT_EQ(Text.find("class Object"), std::string::npos)
+      << "implicit classes are not printed";
+  EXPECT_EQ(Text.find("class null"), std::string::npos);
+}
+
+TEST(PrettyPrinter, ArrayTypesAreNotPrintedAsClasses) {
+  auto P = parseOrDie(R"(
+    class A { }
+    class Main { static method main() { x = new A[]; } }
+  )");
+  std::string Text = printProgram(*P);
+  EXPECT_EQ(Text.find("class A[]"), std::string::npos);
+  EXPECT_NE(Text.find("x = new A[];"), std::string::npos);
+}

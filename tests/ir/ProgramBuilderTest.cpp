@@ -1,0 +1,179 @@
+//===-- tests/ir/ProgramBuilderTest.cpp --------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+
+TEST(ProgramBuilder, ObjectAndNullAreImplicit) {
+  ProgramBuilder B;
+  B.declClass("Main");
+  B.method("Main", "main", {}, /*IsStatic=*/true);
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_TRUE(P->typeByName("Object").isValid());
+  EXPECT_TRUE(P->typeByName("null").isValid());
+  EXPECT_EQ(P->type(P->typeByName("Main")).Super, P->objectType());
+  EXPECT_EQ(P->obj(Program::nullObj()).Type, P->nullType());
+}
+
+TEST(ProgramBuilder, LocalsAreImplicitlyDeclared) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.method("A", "main", {}, true).alloc("x", "A").copy("y", "x");
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  // this is absent (static), params absent, $ret + x + y present.
+  const MethodInfo &M = P->method(P->entryMethod());
+  EXPECT_FALSE(M.This.isValid());
+  EXPECT_TRUE(M.Ret.isValid());
+  EXPECT_EQ(M.Body.size(), 2u);
+}
+
+TEST(ProgramBuilder, InstanceMethodsGetThis) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.method("A", "m", {"p", "q"}).ret("p");
+  B.declClass("Main");
+  B.method("Main", "main", {}, true);
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  const MethodInfo &M = P->method(P->methodBySignature("A.m/2"));
+  EXPECT_TRUE(M.This.isValid());
+  EXPECT_EQ(P->var(M.This).Name, "this");
+  EXPECT_EQ(M.Params.size(), 2u);
+}
+
+TEST(ProgramBuilder, AllocationSitesAreNumbered) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.declClass("Main");
+  B.method("Main", "main", {}, true)
+      .alloc("x", "A")
+      .alloc("y", "A")
+      .alloc("z", "A");
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_EQ(P->numObjs(), 4u) << "3 sites + o_null";
+  for (uint32_t I = 1; I < 4; ++I)
+    EXPECT_EQ(P->obj(ObjId(I)).Type, P->typeByName("A"));
+}
+
+TEST(ProgramBuilder, SharedArrayElementField) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.declClass("B");
+  B.declClass("Main");
+  B.method("Main", "main", {}, true).alloc("x", "A[]").alloc("y", "B[]");
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  TypeId ArrA = P->typeByName("A[]"), ArrB = P->typeByName("B[]");
+  ASSERT_EQ(P->type(ArrA).Fields.size(), 1u);
+  ASSERT_EQ(P->type(ArrB).Fields.size(), 1u);
+  EXPECT_EQ(P->type(ArrA).Fields[0], P->type(ArrB).Fields[0])
+      << "all arrays share the global \"[]\" element field";
+}
+
+TEST(ProgramBuilder, StaticCallsResolveThroughSuperclasses) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.method("A", "helper", {"x"}, true).ret("x");
+  B.declClass("B", "A");
+  B.declClass("Main");
+  B.method("Main", "main", {}, true)
+      .alloc("v", "A")
+      .scall("r", "B", "helper", {"v"}); // inherited static
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_EQ(P->callSite(CallSiteId(0)).Direct,
+            P->methodBySignature("A.helper/1"));
+}
+
+TEST(ProgramBuilder, ErrorOnStaticCallToInstanceMethod) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.method("A", "m", {});
+  B.declClass("Main");
+  B.method("Main", "main", {}, true).scall("", "A", "m", {});
+  std::string Err;
+  EXPECT_EQ(B.finish(Err), nullptr);
+  EXPECT_NE(Err.find("instance method"), std::string::npos);
+}
+
+TEST(ProgramBuilder, ErrorOnAllocatingNullType) {
+  ProgramBuilder B;
+  B.declClass("Main");
+  B.method("Main", "main", {}, true).alloc("x", "null");
+  std::string Err;
+  EXPECT_EQ(B.finish(Err), nullptr);
+  EXPECT_NE(Err.find("null"), std::string::npos);
+}
+
+TEST(ProgramBuilder, ErrorOnNonStaticEntry) {
+  ProgramBuilder B;
+  B.declClass("Main");
+  B.method("Main", "main", {});
+  std::string Err;
+  EXPECT_EQ(B.finish(Err), nullptr);
+}
+
+TEST(ProgramBuilder, ErrorOnDuplicateMethod) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.method("A", "m", {"x"});
+  B.method("A", "m", {"y"});
+  B.declClass("Main");
+  B.method("Main", "main", {}, true);
+  std::string Err;
+  EXPECT_EQ(B.finish(Err), nullptr);
+  EXPECT_NE(Err.find("duplicate"), std::string::npos);
+}
+
+TEST(ProgramBuilder, OverloadByArityIsAllowed) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.method("A", "m", {});
+  B.method("A", "m", {"x"});
+  B.declClass("Main");
+  B.method("Main", "main", {}, true);
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_TRUE(P->methodBySignature("A.m/0").isValid());
+  EXPECT_TRUE(P->methodBySignature("A.m/1").isValid());
+}
+
+TEST(ProgramBuilder, ExplicitEntrySelection) {
+  ProgramBuilder B;
+  B.declClass("App");
+  B.method("App", "start", {}, true);
+  B.setEntry("App", "start");
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_EQ(P->method(P->entryMethod()).Signature, "App.start/0");
+}
+
+TEST(ProgramBuilder, DescribeObjIsReadable) {
+  ProgramBuilder B;
+  B.declClass("A");
+  B.declClass("Main");
+  B.method("Main", "main", {}, true).alloc("x", "A");
+  std::string Err;
+  auto P = B.finish(Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_EQ(P->describeObj(ObjId(1)), "o1<A>@Main.main/0");
+  EXPECT_EQ(P->describeObj(Program::nullObj()), "o0<null>");
+}

@@ -1,0 +1,83 @@
+//===-- tests/ir/RoundTripTest.cpp -------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property: printProgram() emits valid .mj that reparses to a structurally
+// identical program — and printing THAT parse reproduces the same text
+// (print/parse is idempotent after one round).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PrettyPrinter.h"
+
+#include "../TestUtil.h"
+#include "workload/SyntheticBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::test;
+
+static void expectRoundTrips(const Program &P) {
+  std::string Text = printProgram(P);
+  std::string Err;
+  auto P2 = parseProgram(Text, Err);
+  ASSERT_TRUE(P2) << "reparse failed: " << Err << "\n--- text ---\n" << Text;
+  EXPECT_EQ(P.numTypes(), P2->numTypes());
+  EXPECT_EQ(P.numFields(), P2->numFields());
+  EXPECT_EQ(P.numMethods(), P2->numMethods());
+  EXPECT_EQ(P.numObjs(), P2->numObjs());
+  EXPECT_EQ(P.numCallSites(), P2->numCallSites());
+  EXPECT_EQ(P.numCastSites(), P2->numCastSites());
+  EXPECT_EQ(printProgram(*P2), Text) << "second print must be identical";
+}
+
+TEST(RoundTrip, HandWrittenProgram) {
+  auto P = parseOrDie(R"(
+    class A {
+      field f: A;
+      static field s: A;
+      method m(p) { this.f = p; r = this.f; return r; }
+    }
+    class B extends A {
+      method m(p) { return p; }
+      abstract method n(q);
+    }
+    class Main {
+      static method main() {
+        x = new A;
+        y = new B;
+        x.m(y);
+        r = x.m(y);
+        c = (B) r;
+        A::s = x;
+        t = A::s;
+        arr = new B[];
+        arr[] = y;
+        e = arr[];
+        z = null;
+        sp = special y.A::m(x);
+      }
+    }
+  )");
+  expectRoundTrips(*P);
+}
+
+/// Property sweep: every synthetic workload round-trips.
+class RoundTripWorkloadTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RoundTripWorkloadTest, SyntheticProgramsRoundTrip) {
+  workload::WorkloadSpec Spec;
+  Spec.Seed = GetParam();
+  Spec.Modules = 2 + GetParam() % 3;
+  Spec.ElemFamilies = 2 + GetParam() % 3;
+  Spec.WrapDepth = GetParam() % 3;
+  auto P = workload::buildSyntheticProgram(Spec);
+  expectRoundTrips(*P);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripWorkloadTest,
+                         ::testing::Range(1u, 9u));

@@ -1,0 +1,87 @@
+//===-- tests/pta/ContextTableTest.cpp ---------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Context.h"
+
+#include "pta/CSManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+
+TEST(ContextTable, EmptyContextIsIdZero) {
+  ContextTable T;
+  EXPECT_EQ(T.empty().idx(), 0u);
+  EXPECT_TRUE(T.elems(T.empty()).empty());
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(ContextTable, PushAppendsAndInterns) {
+  ContextTable T;
+  ContextId A = T.push(T.empty(), 7, 3);
+  EXPECT_EQ(T.elems(A), (std::vector<CtxElem>{7}));
+  ContextId B = T.push(A, 9, 3);
+  EXPECT_EQ(T.elems(B), (std::vector<CtxElem>{7, 9}));
+  EXPECT_EQ(T.push(T.empty(), 7, 3), A) << "identical contexts intern";
+  EXPECT_EQ(T.size(), 3u);
+}
+
+TEST(ContextTable, PushKeepsMostRecentK) {
+  ContextTable T;
+  ContextId C = T.empty();
+  for (CtxElem E : {1u, 2u, 3u, 4u})
+    C = T.push(C, E, 2);
+  EXPECT_EQ(T.elems(C), (std::vector<CtxElem>{3, 4}));
+}
+
+TEST(ContextTable, PushWithZeroLimitStaysEmpty) {
+  ContextTable T;
+  EXPECT_EQ(T.push(T.empty(), 42, 0), T.empty());
+}
+
+TEST(ContextTable, TruncateKeepsSuffix) {
+  ContextTable T;
+  ContextId C = T.empty();
+  for (CtxElem E : {1u, 2u, 3u})
+    C = T.push(C, E, 8);
+  EXPECT_EQ(T.elems(T.truncate(C, 2)), (std::vector<CtxElem>{2, 3}));
+  EXPECT_EQ(T.truncate(C, 3), C) << "no-op when already short enough";
+  EXPECT_EQ(T.truncate(C, 0), T.empty());
+}
+
+TEST(CSManager, InternsAndDecodesPairs) {
+  CSManager M;
+  CSVarId V1 = M.csVar(ContextId(3), VarId(5));
+  CSVarId V2 = M.csVar(ContextId(3), VarId(5));
+  CSVarId V3 = M.csVar(ContextId(4), VarId(5));
+  EXPECT_EQ(V1, V2);
+  EXPECT_NE(V1, V3);
+  auto [C, V] = M.varOf(V1);
+  EXPECT_EQ(C, ContextId(3));
+  EXPECT_EQ(V, VarId(5));
+  EXPECT_EQ(M.numCSVars(), 2u);
+}
+
+TEST(CSManager, LookupNeverInterns) {
+  CSManager M;
+  EXPECT_FALSE(M.lookupCSVar(ContextId(0), VarId(1)).isValid());
+  EXPECT_EQ(M.numCSVars(), 0u);
+  M.csVar(ContextId(0), VarId(1));
+  EXPECT_TRUE(M.lookupCSVar(ContextId(0), VarId(1)).isValid());
+}
+
+TEST(CSManager, ObjectAndMethodSpacesAreIndependent) {
+  CSManager M;
+  CSObjId O = M.csObj(ContextId(0), ObjId(9));
+  CSMethodId F = M.csMethod(ContextId(0), MethodId(9));
+  EXPECT_EQ(O.idx(), 0u);
+  EXPECT_EQ(F.idx(), 0u) << "separate dense id spaces";
+  auto [CO, Obj] = M.objOf(O);
+  EXPECT_EQ(Obj, ObjId(9));
+  auto [CM, Mth] = M.methodOf(F);
+  EXPECT_EQ(Mth, MethodId(9));
+}

@@ -1,0 +1,189 @@
+//===-- tests/pta/ExceptionsTest.cpp -----------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exceptional flow: throw fills the method's $exc slot, calls propagate
+// callee exceptions, and catch filters by type. The model is
+// flow-insensitive and conservative (caught exceptions still propagate;
+// see MethodInfo::Exc) — these tests pin down exactly that contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "core/Mahjong.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+using namespace mahjong::test;
+
+TEST(Exceptions, ThrowFillsTheExceptionSlot) {
+  auto A = analyze(R"(
+    class Err { }
+    class Main {
+      static method main() { e = new Err; throw e; }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "$exc"),
+            (std::vector<std::string>{"Err"}));
+}
+
+TEST(Exceptions, CalleeExceptionsReachTheCaller) {
+  auto A = analyze(R"(
+    class Err { }
+    class Main {
+      static method main() { Main::risky(); }
+      static method risky() { e = new Err; throw e; }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "$exc"),
+            (std::vector<std::string>{"Err"}))
+      << "uncaught exceptions propagate through static calls";
+}
+
+TEST(Exceptions, PropagationIsTransitive) {
+  auto A = analyze(R"(
+    class Err { }
+    class Main {
+      static method main() { Main::a(); }
+      static method a() { Main::b(); }
+      static method b() { e = new Err; throw e; }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "$exc"),
+            (std::vector<std::string>{"Err"}));
+}
+
+TEST(Exceptions, VirtualCalleesPropagateToo) {
+  auto A = analyze(R"(
+    class Err { }
+    class W { method work() { e = new Err; throw e; } }
+    class Main {
+      static method main() { w = new W; w.work(); }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "$exc"),
+            (std::vector<std::string>{"Err"}));
+}
+
+TEST(Exceptions, CatchBindsByType) {
+  auto A = analyze(R"(
+    class IoErr { }
+    class NetErr { }
+    class Main {
+      static method main() {
+        Main::risky();
+        io = catch IoErr;
+        net = catch NetErr;
+        any = catch Object;
+      }
+      static method risky() {
+        a = new IoErr;
+        throw a;
+        b = new NetErr;
+        throw b;
+      }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "io"),
+            (std::vector<std::string>{"IoErr"}));
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "net"),
+            (std::vector<std::string>{"NetErr"}));
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "any"),
+            (std::vector<std::string>{"IoErr", "NetErr"}));
+}
+
+TEST(Exceptions, CatchCoversSubtypes) {
+  auto A = analyze(R"(
+    class Base { }
+    class Derived extends Base { }
+    class Main {
+      static method main() {
+        d = new Derived;
+        throw d;
+        c = catch Base;
+      }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "c"),
+            (std::vector<std::string>{"Derived"}));
+}
+
+TEST(Exceptions, CaughtExceptionsStillPropagateConservatively) {
+  // The documented over-approximation: catching does not subtract from
+  // the $exc slot, so callers still see the exception (sound, coarser
+  // than Doop's flow-sensitive handlers).
+  auto A = analyze(R"(
+    class Err { }
+    class Main {
+      static method main() { Main::guarded(); }
+      static method guarded() {
+        e = new Err;
+        throw e;
+        c = catch Err;
+      }
+    }
+  )");
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "$exc"),
+            (std::vector<std::string>{"Err"}));
+}
+
+TEST(Exceptions, ExceptionObjectsParticipateInMerging) {
+  // Two type-consistent exception sites merge like any other objects —
+  // throw-site provenance is exactly what type-dependent clients do not
+  // need.
+  auto P = parseOrDie(R"(
+    class Err { field ctx: Object; }
+    class Pay { }
+    class Main {
+      static method main() {
+        p1 = new Pay;
+        p2 = new Pay;
+        e1 = new Err;
+        e1.ctx = p1;
+        throw e1;
+        e2 = new Err;
+        e2.ctx = p2;
+        throw e2;
+        c = catch Err;
+      }
+    }
+  )");
+  ir::ClassHierarchy CH(*P);
+  core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+  // e1 is o3, e2 is o4 (after p1, p2).
+  EXPECT_EQ(MR.MOM[3], MR.MOM[4]) << "type-consistent exceptions merge";
+}
+
+TEST(Exceptions, RoundTripThroughPrinter) {
+  auto P = parseOrDie(R"(
+    class Err { }
+    class Main {
+      static method main() {
+        e = new Err;
+        throw e;
+        c = catch Err;
+      }
+    }
+  )");
+  std::string Text = ir::printProgram(*P);
+  EXPECT_NE(Text.find("throw e;"), std::string::npos);
+  EXPECT_NE(Text.find("c = catch Err;"), std::string::npos);
+  std::string Err;
+  auto P2 = ir::parseProgram(Text, Err);
+  ASSERT_TRUE(P2) << Err;
+  EXPECT_EQ(ir::printProgram(*P2), Text);
+}
+
+TEST(Exceptions, EntrySlotEmptyWithoutThrows) {
+  auto A = analyze(R"(
+    class T { }
+    class Main { static method main() { x = new T; } }
+  )");
+  EXPECT_TRUE(pointeeTypes(*A.R, "Main.main/0", "$exc").empty());
+}

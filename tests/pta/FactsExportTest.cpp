@@ -1,0 +1,111 @@
+//===-- tests/pta/FactsExportTest.cpp ----------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/FactsExport.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+using namespace mahjong::test;
+
+namespace {
+
+const char *Src = R"(
+  class A { field f: B; static field s: B; }
+  class B { }
+  class Main {
+    static method main() {
+      a = new A;
+      b = new B;
+      a.f = b;
+      A::s = b;
+      Main::helper(a);
+    }
+    static method helper(p) { return p; }
+  }
+)";
+
+} // namespace
+
+TEST(FactsExport, VarPointsToRows) {
+  auto A = analyze(Src);
+  std::ostringstream OS;
+  writeVarPointsTo(*A.R, OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Main.main/0\ta\to1<A>@Main.main/0"),
+            std::string::npos);
+  EXPECT_NE(Out.find("Main.helper/1\tp\to1<A>@Main.main/0"),
+            std::string::npos);
+}
+
+TEST(FactsExport, InstanceFieldRows) {
+  auto A = analyze(Src);
+  std::ostringstream OS;
+  writeInstanceFieldPointsTo(*A.R, OS);
+  EXPECT_NE(OS.str().find("o1<A>@Main.main/0\tf\to2<B>@Main.main/0"),
+            std::string::npos);
+}
+
+TEST(FactsExport, StaticFieldRows) {
+  auto A = analyze(Src);
+  std::ostringstream OS;
+  writeStaticFieldPointsTo(*A.R, OS);
+  EXPECT_NE(OS.str().find("A\ts\to2<B>@Main.main/0"), std::string::npos);
+}
+
+TEST(FactsExport, CallGraphEdgeRows) {
+  auto A = analyze(Src);
+  std::ostringstream OS;
+  writeCallGraphEdge(*A.R, OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Main.main/0"), std::string::npos);
+  EXPECT_NE(Out.find("Main.helper/1"), std::string::npos);
+}
+
+TEST(FactsExport, ReachableRows) {
+  auto A = analyze(Src);
+  std::ostringstream OS;
+  writeReachable(*A.R, OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Main.main/0\n"), std::string::npos);
+  EXPECT_NE(Out.find("Main.helper/1\n"), std::string::npos);
+}
+
+TEST(FactsExport, OutputIsDeterministic) {
+  auto A1 = analyze(Src);
+  auto A2 = analyze(Src);
+  std::ostringstream O1, O2;
+  writeVarPointsTo(*A1.R, O1);
+  writeVarPointsTo(*A2.R, O2);
+  EXPECT_EQ(O1.str(), O2.str());
+  std::ostringstream F1, F2;
+  writeInstanceFieldPointsTo(*A1.R, F1);
+  writeInstanceFieldPointsTo(*A2.R, F2);
+  EXPECT_EQ(F1.str(), F2.str());
+}
+
+TEST(FactsExport, WriteAllFactsCreatesFiles) {
+  auto A = analyze(Src);
+  std::string Dir = ::testing::TempDir() + "/mahjong_facts";
+  std::filesystem::create_directories(Dir);
+  ASSERT_TRUE(writeAllFacts(*A.R, Dir));
+  for (const char *Name :
+       {"VarPointsTo", "InstanceFieldPointsTo", "StaticFieldPointsTo",
+        "CallGraphEdge", "Reachable"})
+    EXPECT_TRUE(std::filesystem::exists(Dir + "/" + Name + ".facts"))
+        << Name;
+}
+
+TEST(FactsExport, WriteAllFactsFailsOnBadDirectory) {
+  auto A = analyze(Src);
+  EXPECT_FALSE(writeAllFacts(*A.R, "/nonexistent/dir/for/sure"));
+}

@@ -1,0 +1,112 @@
+//===-- tests/pta/HeapAbstractionTest.cpp ------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/HeapAbstraction.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+using namespace mahjong::test;
+
+namespace {
+
+const char *Src = R"(
+  class A { }
+  class B { }
+  class Main {
+    static method main() {
+      a1 = new A;  // o1
+      a2 = new A;  // o2
+      b1 = new B;  // o3
+      a3 = new A;  // o4
+    }
+  }
+)";
+
+} // namespace
+
+TEST(HeapAbstraction, AllocSiteIsIdentity) {
+  auto P = parseOrDie(Src);
+  AllocSiteAbstraction H;
+  for (uint32_t I = 0; I < P->numObjs(); ++I) {
+    EXPECT_EQ(H.repr(ObjId(I)), ObjId(I));
+    EXPECT_FALSE(H.isMerged(ObjId(I)));
+  }
+  EXPECT_EQ(H.countAbstractObjects(P->numObjs()), P->numObjs());
+  EXPECT_EQ(H.name(), "alloc-site");
+}
+
+TEST(HeapAbstraction, AllocTypeMergesPerType) {
+  auto P = parseOrDie(Src);
+  AllocTypeAbstraction H(*P);
+  EXPECT_EQ(H.repr(ObjId(1)), ObjId(1)) << "first A site represents";
+  EXPECT_EQ(H.repr(ObjId(2)), ObjId(1));
+  EXPECT_EQ(H.repr(ObjId(4)), ObjId(1));
+  EXPECT_EQ(H.repr(ObjId(3)), ObjId(3)) << "B stays alone";
+  EXPECT_TRUE(H.isMerged(ObjId(1))) << "representative of a >1 class";
+  EXPECT_TRUE(H.isMerged(ObjId(2)));
+  EXPECT_FALSE(H.isMerged(ObjId(3)));
+  // o_null + one A + one B = 3 abstract objects.
+  EXPECT_EQ(H.countAbstractObjects(P->numObjs()), 3u);
+}
+
+TEST(HeapAbstraction, AllocTypeNeverMergesNull) {
+  auto P = parseOrDie(Src);
+  AllocTypeAbstraction H(*P);
+  EXPECT_EQ(H.repr(ir::Program::nullObj()), ir::Program::nullObj());
+  EXPECT_FALSE(H.isMerged(ir::Program::nullObj()));
+}
+
+TEST(HeapAbstraction, MergedHeapFromExplicitMap) {
+  auto P = parseOrDie(Src);
+  // Merge o2 into o1, keep the rest.
+  std::vector<ObjId> MOM = {ObjId(0), ObjId(1), ObjId(1), ObjId(3), ObjId(4)};
+  MergedHeapAbstraction H(MOM, "test-heap");
+  EXPECT_EQ(H.repr(ObjId(2)), ObjId(1));
+  EXPECT_TRUE(H.isMerged(ObjId(1)));
+  EXPECT_TRUE(H.isMerged(ObjId(2)));
+  EXPECT_FALSE(H.isMerged(ObjId(3)));
+  EXPECT_FALSE(H.isMerged(ObjId(4)));
+  EXPECT_EQ(H.name(), "test-heap");
+  EXPECT_EQ(H.countAbstractObjects(5), 4u);
+}
+
+TEST(HeapAbstraction, AllocTypeAnalysisConflatesSameTypedSites) {
+  // Figure 1 intuition at the variable level: with the allocation-type
+  // abstraction, two A-sites become aliases.
+  const char *Fig = R"(
+    class A { field f: A; }
+    class B { }
+    class C { }
+    class Main {
+      static method main() {
+        x = new A;
+        y = new A;
+        vb = new B;
+        vc = new C;
+        x.f = vb;
+        y.f = vc;
+        r = y.f;
+      }
+    }
+  )";
+  auto Base = analyze(Fig);
+  EXPECT_EQ(pointeeTypes(*Base.R, "Main.main/0", "r"),
+            (std::vector<std::string>{"C"}));
+
+  auto P = parseOrDie(Fig);
+  ir::ClassHierarchy CH(*P);
+  AllocTypeAbstraction H(*P);
+  AnalysisOptions Opts;
+  Opts.Heap = &H;
+  auto R = runPointerAnalysis(*P, CH, Opts);
+  EXPECT_EQ(pointeeTypes(*R, "Main.main/0", "r"),
+            (std::vector<std::string>{"B", "C"}))
+      << "merging the A-sites aliases x.f and y.f";
+}

@@ -1,0 +1,165 @@
+//===-- tests/pta/RefinementPropertyTest.cpp ----------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential properties across analyses on whole workloads:
+//
+//  - Refinement: a context-sensitive analysis, projected context-
+//    insensitively, never discovers points-to facts or call edges the
+//    ci analysis lacks (every flavour computes a subset of ci's facts).
+//  - Hybrid dominance: k-objH is at least as precise as k-obj on the
+//    client metrics (it only splits static-call contexts further).
+//  - Determinism: re-running any analysis reproduces identical results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "clients/Clients.h"
+#include "workload/SyntheticBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+using namespace mahjong::test;
+
+namespace {
+
+std::set<std::pair<uint32_t, uint32_t>> ciEdges(const PTAResult &R) {
+  std::set<std::pair<uint32_t, uint32_t>> Edges;
+  for (CallSiteId Site : R.CG.callSitesWithEdges())
+    for (MethodId Callee : R.CG.calleesOf(Site))
+      Edges.insert({Site.idx(), Callee.idx()});
+  return Edges;
+}
+
+std::unique_ptr<ir::Program> makeWorkload(unsigned Seed) {
+  workload::WorkloadSpec Spec;
+  Spec.Seed = Seed;
+  Spec.Modules = 3 + Seed % 3;
+  Spec.MixedPerMille = 120;
+  Spec.ElemChainPerMille = 400;
+  return workload::buildSyntheticProgram(Spec);
+}
+
+} // namespace
+
+class RefinementTest
+    : public ::testing::TestWithParam<std::tuple<ContextKind, unsigned>> {};
+
+TEST_P(RefinementTest, ContextSensitiveFactsRefineCi) {
+  auto [Kind, K] = GetParam();
+  auto P = makeWorkload(11);
+  ir::ClassHierarchy CH(*P);
+
+  AnalysisOptions CiOpts;
+  auto Ci = runPointerAnalysis(*P, CH, CiOpts);
+  AnalysisOptions CsOpts;
+  CsOpts.Kind = Kind;
+  CsOpts.K = K;
+  auto Cs = runPointerAnalysis(*P, CH, CsOpts);
+
+  // Call graph refinement.
+  auto CiE = ciEdges(*Ci), CsE = ciEdges(*Cs);
+  for (const auto &E : CsE)
+    ASSERT_TRUE(CiE.count(E)) << "cs edge missing from ci under "
+                              << analysisName(Kind, K);
+
+  // Per-variable points-to refinement (CI-projected), for reachable
+  // methods of the cs analysis.
+  for (uint32_t VI = 0; VI < P->numVars(); ++VI) {
+    VarId V = VarId(VI);
+    PointsToSet CsPts = Cs->ciVarPts(V);
+    if (CsPts.empty())
+      continue;
+    PointsToSet CiPts = Ci->ciVarPts(V);
+    for (uint32_t Obj : CsPts)
+      ASSERT_TRUE(CiPts.contains(Obj))
+          << "var " << P->var(V).Name << " of "
+          << P->method(P->var(V).Method).Signature << " points to o"
+          << Obj << " under " << analysisName(Kind, K) << " but not ci";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Analyses, RefinementTest,
+    ::testing::Values(std::tuple{ContextKind::CallSite, 1u},
+                      std::tuple{ContextKind::CallSite, 2u},
+                      std::tuple{ContextKind::Object, 1u},
+                      std::tuple{ContextKind::Object, 2u},
+                      std::tuple{ContextKind::Object, 3u},
+                      std::tuple{ContextKind::Type, 2u},
+                      std::tuple{ContextKind::Hybrid, 2u}));
+
+TEST(HybridSelector, AtLeastAsPreciseAsPlainObjSens) {
+  auto P = makeWorkload(23);
+  ir::ClassHierarchy CH(*P);
+  AnalysisOptions Obj;
+  Obj.Kind = ContextKind::Object;
+  Obj.K = 2;
+  auto RObj = runPointerAnalysis(*P, CH, Obj);
+  AnalysisOptions Hyb;
+  Hyb.Kind = ContextKind::Hybrid;
+  Hyb.K = 2;
+  auto RHyb = runPointerAnalysis(*P, CH, Hyb);
+  clients::ClientResults CObj = clients::evaluateClients(*RObj);
+  clients::ClientResults CHyb = clients::evaluateClients(*RHyb);
+  EXPECT_LE(CHyb.CallGraphEdges, CObj.CallGraphEdges);
+  EXPECT_LE(CHyb.PolyCallSites, CObj.PolyCallSites);
+  EXPECT_LE(CHyb.MayFailCasts, CObj.MayFailCasts);
+}
+
+TEST(HybridSelector, SplitsStaticHelperContexts) {
+  // The motivating case: a static helper between two receivers.
+  auto A = analyze(R"(
+    class T { }
+    class U { }
+    class Box {
+      field val: Object;
+      method set(v) { this.val = v; return this; }
+      method get() { r = this.val; return r; }
+    }
+    class H { static method fill(b, v) { b.set(v); } }
+    class Main {
+      static method main() {
+        bt = new Box;
+        bu = new Box;
+        t = new T;
+        u = new U;
+        H::fill(bt, t);
+        H::fill(bu, u);
+        rt = bt.get();
+        ru = bu.get();
+      }
+    }
+  )",
+                   ContextKind::Hybrid, 2);
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "rt"),
+            (std::vector<std::string>{"T"}))
+      << "2objH distinguishes the two fill() call sites where 2obj "
+         "conflates them (see ContextSensitivityTest)";
+  EXPECT_EQ(pointeeTypes(*A.R, "Main.main/0", "ru"),
+            (std::vector<std::string>{"U"}));
+}
+
+TEST(Determinism, RepeatedRunsAreIdentical) {
+  auto P = makeWorkload(31);
+  ir::ClassHierarchy CH(*P);
+  for (ContextKind Kind : {ContextKind::Insensitive, ContextKind::Object}) {
+    AnalysisOptions Opts;
+    Opts.Kind = Kind;
+    Opts.K = Kind == ContextKind::Object ? 2 : 0;
+    auto R1 = runPointerAnalysis(*P, CH, Opts);
+    auto R2 = runPointerAnalysis(*P, CH, Opts);
+    EXPECT_EQ(R1->Stats.NumCSVars, R2->Stats.NumCSVars);
+    EXPECT_EQ(R1->Stats.VarPtsEntries, R2->Stats.VarPtsEntries);
+    EXPECT_EQ(R1->CG.numCIEdges(), R2->CG.numCIEdges());
+    EXPECT_EQ(R1->CG.numCSEdges(), R2->CG.numCSEdges());
+    EXPECT_EQ(ciEdges(*R1), ciEdges(*R2));
+  }
+}

@@ -1,0 +1,79 @@
+//===-- tests/support/DisjointSetsTest.cpp -----------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DisjointSets.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mahjong;
+
+TEST(DisjointSets, SingletonsInitially) {
+  DisjointSets DS(5);
+  EXPECT_EQ(DS.numSets(), 5u);
+  for (uint32_t I = 0; I < 5; ++I) {
+    EXPECT_EQ(DS.find(I), I);
+    EXPECT_EQ(DS.setSize(I), 1u);
+  }
+}
+
+TEST(DisjointSets, UniteMergesAndCounts) {
+  DisjointSets DS(6);
+  DS.unite(0, 1);
+  DS.unite(2, 3);
+  EXPECT_EQ(DS.numSets(), 4u);
+  EXPECT_TRUE(DS.connected(0, 1));
+  EXPECT_FALSE(DS.connected(0, 2));
+  DS.unite(1, 3);
+  EXPECT_TRUE(DS.connected(0, 2));
+  EXPECT_EQ(DS.setSize(0), 4u);
+  EXPECT_EQ(DS.numSets(), 3u);
+}
+
+TEST(DisjointSets, UniteIsIdempotent) {
+  DisjointSets DS(3);
+  DS.unite(0, 1);
+  uint32_t Sets = DS.numSets();
+  DS.unite(0, 1);
+  DS.unite(1, 0);
+  EXPECT_EQ(DS.numSets(), Sets);
+  EXPECT_EQ(DS.setSize(1), 2u);
+}
+
+TEST(DisjointSets, GrowPreservesExistingSets) {
+  DisjointSets DS(2);
+  DS.unite(0, 1);
+  DS.grow(5);
+  EXPECT_EQ(DS.numSets(), 4u);
+  EXPECT_TRUE(DS.connected(0, 1));
+  EXPECT_FALSE(DS.connected(0, 4));
+}
+
+/// Property: after any random union sequence, connectivity matches a
+/// naive label-propagation implementation.
+TEST(DisjointSets, MatchesNaiveReferenceOnRandomSequences) {
+  std::mt19937 Rng(42);
+  for (int Round = 0; Round < 20; ++Round) {
+    const uint32_t N = 64;
+    DisjointSets DS(N);
+    std::vector<uint32_t> Label(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Label[I] = I;
+    for (int Op = 0; Op < 100; ++Op) {
+      uint32_t A = Rng() % N, B = Rng() % N;
+      DS.unite(A, B);
+      uint32_t LA = Label[A], LB = Label[B];
+      for (uint32_t I = 0; I < N; ++I)
+        if (Label[I] == LB)
+          Label[I] = LA;
+    }
+    for (uint32_t I = 0; I < N; ++I)
+      for (uint32_t J = I + 1; J < N; ++J)
+        ASSERT_EQ(DS.connected(I, J), Label[I] == Label[J])
+            << "round " << Round << " elements " << I << "," << J;
+  }
+}

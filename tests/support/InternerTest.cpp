@@ -1,0 +1,61 @@
+//===-- tests/support/InternerTest.cpp ---------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include "support/Ids.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+
+namespace {
+struct TestTag;
+using TestId = Id<TestTag>;
+} // namespace
+
+TEST(Interner, AssignsDenseIdsInInsertionOrder) {
+  Interner<TestId, uint64_t> I;
+  EXPECT_EQ(I.intern(42).idx(), 0u);
+  EXPECT_EQ(I.intern(7).idx(), 1u);
+  EXPECT_EQ(I.intern(42).idx(), 0u) << "re-interning must return the same id";
+  EXPECT_EQ(I.size(), 2u);
+}
+
+TEST(Interner, GetReturnsInternedValue) {
+  Interner<TestId, uint64_t> I;
+  TestId A = I.intern(123456789ull);
+  EXPECT_EQ(I.get(A), 123456789ull);
+}
+
+TEST(Interner, LookupDoesNotIntern) {
+  Interner<TestId, uint64_t> I;
+  EXPECT_FALSE(I.lookup(9).isValid());
+  EXPECT_EQ(I.size(), 0u);
+  I.intern(9);
+  EXPECT_TRUE(I.lookup(9).isValid());
+  EXPECT_EQ(I.size(), 1u);
+}
+
+TEST(Interner, VectorKeysWithVectorHash) {
+  Interner<TestId, std::vector<uint32_t>, VectorHash> I;
+  TestId Empty = I.intern({});
+  TestId AB = I.intern({1, 2});
+  TestId BA = I.intern({2, 1});
+  EXPECT_NE(AB, BA) << "order matters for vector keys";
+  EXPECT_EQ(I.intern({}), Empty);
+  EXPECT_EQ(I.intern({1, 2}), AB);
+  EXPECT_EQ(I.get(AB), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(StrongIds, DistinctTagsDoNotCompare) {
+  TypeId T(3);
+  EXPECT_EQ(T.idx(), 3u);
+  EXPECT_TRUE(T.isValid());
+  EXPECT_FALSE(TypeId::invalid().isValid());
+  EXPECT_LT(TypeId(1), TypeId(2));
+  EXPECT_EQ(std::hash<TypeId>()(TypeId(7)), std::hash<uint32_t>()(7u));
+}

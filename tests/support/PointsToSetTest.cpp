@@ -1,0 +1,184 @@
+//===-- tests/support/PointsToSetTest.cpp ------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PointsToSet.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace mahjong;
+
+TEST(PointsToSet, EmptyInitially) {
+  PointsToSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_EQ(S.begin(), S.end());
+}
+
+TEST(PointsToSet, InsertAndContains) {
+  PointsToSet S;
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_FALSE(S.insert(5));
+  EXPECT_TRUE(S.insert(64)); // next chunk
+  EXPECT_TRUE(S.insert(63)); // same chunk as 5
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(5));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_FALSE(S.contains(6));
+  EXPECT_FALSE(S.contains(65));
+}
+
+TEST(PointsToSet, IterationIsAscending) {
+  PointsToSet S;
+  for (uint32_t E : {300u, 0u, 64u, 65u, 1u, 1000000u})
+    S.insert(E);
+  std::vector<uint32_t> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, (std::vector<uint32_t>{0, 1, 64, 65, 300, 1000000}));
+  EXPECT_EQ(S.toVector(), Got);
+}
+
+TEST(PointsToSet, ChunkBoundaries) {
+  PointsToSet S;
+  for (uint32_t E : {63u, 64u, 127u, 128u})
+    S.insert(E);
+  EXPECT_EQ(S.size(), 4u);
+  for (uint32_t E : {63u, 64u, 127u, 128u})
+    EXPECT_TRUE(S.contains(E));
+  EXPECT_FALSE(S.contains(62));
+  EXPECT_FALSE(S.contains(129));
+}
+
+TEST(PointsToSet, UnionWithDisjoint) {
+  PointsToSet A, B;
+  A.insert(1);
+  B.insert(100);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(B)); // now a subset
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(100));
+  EXPECT_EQ(B.size(), 1u) << "union must not mutate the argument";
+}
+
+TEST(PointsToSet, UnionWithOverlapping) {
+  PointsToSet A, B;
+  for (uint32_t E : {1u, 2u, 70u})
+    A.insert(E);
+  for (uint32_t E : {2u, 70u, 71u})
+    B.insert(E);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(A.size(), 4u);
+}
+
+TEST(PointsToSet, UnionWithEmptySides) {
+  PointsToSet A, B;
+  A.insert(3);
+  EXPECT_FALSE(A.unionWith(B));
+  EXPECT_TRUE(B.unionWith(A));
+  EXPECT_EQ(B.size(), 1u);
+}
+
+TEST(PointsToSet, DifferenceFrom) {
+  PointsToSet Mine, Other;
+  for (uint32_t E : {1u, 64u})
+    Mine.insert(E);
+  for (uint32_t E : {1u, 2u, 64u, 65u, 200u})
+    Other.insert(E);
+  PointsToSet Diff = Mine.differenceFrom(Other); // Other \ Mine
+  EXPECT_EQ(Diff.toVector(), (std::vector<uint32_t>{2, 65, 200}));
+}
+
+TEST(PointsToSet, DifferenceFromSubsetIsEmpty) {
+  PointsToSet Mine, Other;
+  for (uint32_t E : {1u, 2u, 3u})
+    Mine.insert(E);
+  Other.insert(2);
+  EXPECT_TRUE(Mine.differenceFrom(Other).empty());
+}
+
+TEST(PointsToSet, EqualityComparesContents) {
+  PointsToSet A, B;
+  A.insert(1);
+  A.insert(100);
+  B.insert(100);
+  B.insert(1);
+  EXPECT_TRUE(A == B);
+  B.insert(2);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(PointsToSet, ClearResets) {
+  PointsToSet S;
+  S.insert(42);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(42));
+}
+
+/// Property: a random operation sequence matches std::set semantics.
+class PointsToSetRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PointsToSetRandomTest, MatchesStdSetReference) {
+  std::mt19937 Rng(GetParam());
+  PointsToSet S;
+  std::set<uint32_t> Ref;
+  auto RandomElem = [&] {
+    // Mix tight and sparse ids so chunks are exercised both dense and
+    // sparse.
+    return Rng() % 2 ? Rng() % 128 : Rng() % 100000;
+  };
+  for (int Op = 0; Op < 500; ++Op) {
+    switch (Rng() % 3) {
+    case 0: {
+      uint32_t E = RandomElem();
+      ASSERT_EQ(S.insert(E), Ref.insert(E).second);
+      break;
+    }
+    case 1: {
+      PointsToSet B;
+      std::set<uint32_t> BRef;
+      for (int I = 0, N = Rng() % 20; I < N; ++I) {
+        uint32_t E = RandomElem();
+        B.insert(E);
+        BRef.insert(E);
+      }
+      bool Changed = S.unionWith(B);
+      size_t Before = Ref.size();
+      Ref.insert(BRef.begin(), BRef.end());
+      ASSERT_EQ(Changed, Ref.size() != Before);
+      break;
+    }
+    case 2: {
+      uint32_t E = RandomElem();
+      ASSERT_EQ(S.contains(E), Ref.count(E) > 0);
+      break;
+    }
+    }
+    ASSERT_EQ(S.size(), Ref.size());
+  }
+  ASSERT_EQ(S.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
+  // differenceFrom against a random probe set.
+  PointsToSet Probe;
+  std::set<uint32_t> ProbeRef;
+  for (int I = 0; I < 100; ++I) {
+    uint32_t E = RandomElem();
+    Probe.insert(E);
+    ProbeRef.insert(E);
+  }
+  std::vector<uint32_t> WantDiff;
+  for (uint32_t E : ProbeRef)
+    if (!Ref.count(E))
+      WantDiff.push_back(E);
+  ASSERT_EQ(S.differenceFrom(Probe).toVector(), WantDiff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointsToSetRandomTest,
+                         ::testing::Range(1u, 13u));

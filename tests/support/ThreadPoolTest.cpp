@@ -1,0 +1,60 @@
+//===-- tests/support/ThreadPoolTest.cpp -------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace mahjong;
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.enqueue([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  Pool.enqueue([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 1);
+  Pool.enqueue([&Counter] { ++Counter; });
+  Pool.enqueue([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 3);
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturns) {
+  ThreadPool Pool(2);
+  Pool.wait(); // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool Pool(1);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 10; ++I)
+    Pool.enqueue([&Sum, I] { Sum += I; });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 55);
+}
+
+TEST(ThreadPool, DisjointWorkPartitionsAreRaceFree) {
+  // The heap modeler's usage pattern: tasks write disjoint slots.
+  ThreadPool Pool(4);
+  std::vector<int> Slots(64, 0);
+  for (int I = 0; I < 64; ++I)
+    Pool.enqueue([&Slots, I] { Slots[I] = I * I; });
+  Pool.wait();
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(Slots[I], I * I);
+}

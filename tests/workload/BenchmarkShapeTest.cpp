@@ -1,0 +1,107 @@
+//===-- tests/workload/BenchmarkShapeTest.cpp ---------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Guards the *shape* properties of the benchmark profiles that the
+// Table 2 reproduction depends on — at tiny scale, so the whole file
+// runs in well under a second.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/BenchmarkPrograms.h"
+
+#include "../TestUtil.h"
+#include "clients/Clients.h"
+#include "core/Mahjong.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::workload;
+
+TEST(BenchmarkShape, TiersDifferInPollutionAndChains) {
+  WorkloadSpec Small = benchmarkSpec("luindex");
+  WorkloadSpec Mid = benchmarkSpec("pmd");
+  WorkloadSpec Big = benchmarkSpec("eclipse");
+  EXPECT_LT(Small.Modules, Mid.Modules);
+  EXPECT_LT(Mid.Modules, Big.Modules);
+  EXPECT_LT(Mid.PollutedEnginePerMille, Big.PollutedEnginePerMille)
+      << "the never-scalable tier keeps engines unmergeable";
+  EXPECT_LE(Mid.ElemChainPerMille, Big.ElemChainPerMille)
+      << "the never-scalable tier keeps elements unmergeable";
+}
+
+TEST(BenchmarkShape, MergeRatioTracksChainKnob) {
+  // Longer element chains -> less merging, the Figure 8 lever.
+  WorkloadSpec Low, High;
+  Low.Modules = High.Modules = 8;
+  Low.Seed = High.Seed = 3;
+  Low.ElemSitesPerModule = High.ElemSitesPerModule = 30;
+  Low.ElemChainPerMille = 100;
+  High.ElemChainPerMille = 900;
+  auto Ratio = [](const WorkloadSpec &S) {
+    auto P = buildSyntheticProgram(S);
+    ir::ClassHierarchy CH(*P);
+    core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+    return static_cast<double>(MR.numMahjongObjects()) /
+           MR.numAllocSiteObjects();
+  };
+  EXPECT_LT(Ratio(Low), Ratio(High));
+}
+
+TEST(BenchmarkShape, PollutionKeepsEngineSitesUnmerged) {
+  WorkloadSpec Clean, Dirty;
+  Clean.Modules = Dirty.Modules = 8;
+  Clean.Seed = Dirty.Seed = 5;
+  Clean.PollutedEnginePerMille = 0;
+  Dirty.PollutedEnginePerMille = 900;
+  auto EngineClasses = [](const WorkloadSpec &S) {
+    auto P = buildSyntheticProgram(S);
+    ir::ClassHierarchy CH(*P);
+    core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+    auto Classes = core::equivalenceClasses(*MR.FPG, MR.Modeling);
+    size_t N = 0;
+    for (const auto &[Repr, Members] : Classes)
+      if (P->type(P->obj(Repr).Type).Name.starts_with("Engine"))
+        ++N;
+    return N;
+  };
+  EXPECT_LT(EngineClasses(Clean), EngineClasses(Dirty))
+      << "polluted logs must split engine equivalence classes";
+}
+
+TEST(BenchmarkShape, BufSitesCollapsePerKind) {
+  WorkloadSpec S;
+  S.Modules = 8;
+  S.BufKinds = 2;
+  S.BufSitesPerModule = 6;
+  auto P = buildSyntheticProgram(S);
+  ir::ClassHierarchy CH(*P);
+  core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+  auto Classes = core::equivalenceClasses(*MR.FPG, MR.Modeling);
+  for (unsigned K = 0; K < S.BufKinds; ++K) {
+    size_t N = 0;
+    std::string Name = "Buf" + std::to_string(K);
+    for (const auto &[Repr, Members] : Classes)
+      if (P->type(P->obj(Repr).Type).Name == Name)
+        ++N;
+    EXPECT_EQ(N, 1u) << Name
+                     << ": homogeneous shared-helper sites form one class";
+  }
+}
+
+TEST(BenchmarkShape, ClientWorkExistsOnEveryProfile) {
+  for (const std::string &Name : workload::benchmarkNames()) {
+    auto P = buildBenchmarkProgram(Name, 0.03);
+    ir::ClassHierarchy CH(*P);
+    pta::AnalysisOptions Opts;
+    auto R = pta::runPointerAnalysis(*P, CH, Opts);
+    clients::ClientResults CR = clients::evaluateClients(*R);
+    EXPECT_GT(CR.TotalCasts, 0u) << Name;
+    EXPECT_GT(CR.PolyCallSites + CR.MonoCallSites, 0u) << Name;
+    EXPECT_GT(CR.MayFailCasts, 0u)
+        << Name << ": genuinely unsafe casts must exist";
+  }
+}

@@ -1,0 +1,105 @@
+//===-- tests/workload/WorkloadTest.cpp --------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/BenchmarkPrograms.h"
+
+#include "../TestUtil.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::workload;
+
+TEST(Workload, GenerationIsDeterministic) {
+  WorkloadSpec Spec;
+  Spec.Seed = 7;
+  Spec.Modules = 3;
+  auto P1 = buildSyntheticProgram(Spec);
+  auto P2 = buildSyntheticProgram(Spec);
+  EXPECT_EQ(printProgram(*P1), printProgram(*P2));
+}
+
+TEST(Workload, SeedChangesTheProgram) {
+  WorkloadSpec A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  A.Modules = B.Modules = 3;
+  A.MixedPerMille = B.MixedPerMille = 400; // make randomness visible
+  EXPECT_NE(printProgram(*buildSyntheticProgram(A)),
+            printProgram(*buildSyntheticProgram(B)));
+}
+
+TEST(Workload, SizeKnobsScaleObjectCounts) {
+  WorkloadSpec Small, Large;
+  Small.Modules = 2;
+  Large.Modules = 8;
+  auto PS = buildSyntheticProgram(Small);
+  auto PL = buildSyntheticProgram(Large);
+  EXPECT_GT(PL->numObjs(), PS->numObjs() * 2);
+  EXPECT_GT(PL->numCallSites(), PS->numCallSites() * 2);
+}
+
+TEST(Workload, ZeroOptionalFeaturesStillBuild) {
+  WorkloadSpec Spec;
+  Spec.Modules = 2;
+  Spec.WrapDepth = 0;
+  Spec.UtilChains = 0;
+  Spec.BufKinds = 0;
+  Spec.UseIterators = false;
+  Spec.NullSitesPerModule = 0;
+  Spec.BoxHelperChain = 0;
+  Spec.IterHelperChain = 0;
+  auto P = buildSyntheticProgram(Spec);
+  EXPECT_TRUE(P->entryMethod().isValid());
+}
+
+TEST(Workload, MakerIndirectionAddsClasses) {
+  WorkloadSpec Plain, Maker;
+  Plain.Modules = Maker.Modules = 2;
+  Maker.UseMakerIndirection = true;
+  auto PP = buildSyntheticProgram(Plain);
+  auto PM = buildSyntheticProgram(Maker);
+  EXPECT_GT(PM->numTypes(), PP->numTypes());
+  EXPECT_TRUE(PM->typeByName("Maker0").isValid());
+}
+
+TEST(Workload, AllBenchmarkNamesHaveSpecs) {
+  EXPECT_EQ(benchmarkNames().size(), 12u);
+  for (const std::string &Name : benchmarkNames()) {
+    WorkloadSpec Spec = benchmarkSpec(Name, 0.05);
+    EXPECT_EQ(Spec.Name, Name);
+    EXPECT_GE(Spec.Modules, 1u);
+  }
+}
+
+TEST(Workload, ScaleMultipliesModules) {
+  WorkloadSpec S1 = benchmarkSpec("pmd", 1.0);
+  WorkloadSpec S2 = benchmarkSpec("pmd", 0.5);
+  EXPECT_NEAR(static_cast<double>(S1.Modules) / S2.Modules, 2.0, 0.1);
+}
+
+TEST(Workload, ProfilesFollowThePaperSizeOrdering) {
+  // luindex is the smallest program, eclipse the largest (paper §6.1.2).
+  auto Count = [](const char *Name) {
+    return buildBenchmarkProgram(Name, 0.1)->numObjs();
+  };
+  EXPECT_LT(Count("luindex"), Count("pmd"));
+  EXPECT_LT(Count("pmd"), Count("eclipse"));
+}
+
+TEST(Workload, GeneratedProgramsAnalyzeCleanly) {
+  WorkloadSpec Spec;
+  Spec.Modules = 3;
+  auto P = buildSyntheticProgram(Spec);
+  ClassHierarchy CH(*P);
+  pta::AnalysisOptions Opts;
+  auto R = pta::runPointerAnalysis(*P, CH, Opts);
+  EXPECT_FALSE(R->Stats.TimedOut);
+  EXPECT_GT(R->Stats.NumReachableMethods, 10u);
+  EXPECT_GT(R->CG.numCIEdges(), 10u);
+}
