@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace mahjong;
 using namespace mahjong::core;
@@ -32,6 +34,7 @@ DFAStateId DFACache::intern(std::vector<uint32_t> SortedObjs) {
     Outputs.resize(S.idx() + 1);
     ContainsNull.resize(S.idx() + 1, false);
     KnownAllSingleton.resize(S.idx() + 1, false);
+    KnownMixed.resize(S.idx() + 1, false);
     const Program &P = G.program();
     std::vector<TypeId> Types;
     for (uint32_t Obj : SortedObjs) {
@@ -48,10 +51,18 @@ DFAStateId DFACache::intern(std::vector<uint32_t> SortedObjs) {
 
 DFAStateId DFACache::startFor(ObjId O) { return intern({O.idx()}); }
 
+DFAStateId DFACache::startForFrozen(ObjId O) const {
+  DFAStateId S = Sets.lookup(std::vector<uint32_t>{O.idx()});
+  assert(S.isValid() && "start state not interned before the frozen phase");
+  return S;
+}
+
 void DFACache::computeTransitions(DFAStateId S) {
   assert(!Frozen && "computing transitions after freeze()");
   TransComputed[S.idx()] = true;
-  const std::vector<uint32_t> &Objs = Sets.get(S);
+  // intern() below can grow the key table and move its vector headers, so
+  // copy the member list instead of holding a reference into it.
+  const std::vector<uint32_t> Objs = Sets.get(S);
   // Collect the union alphabet of the member objects, then the successor
   // set per field (Algorithm 3, line 10: q' = { δ[o_j, f] | o_j ∈ q }).
   std::vector<FieldId> Fields;
@@ -134,19 +145,38 @@ void DFACache::materialize(DFAStateId Start) {
 bool DFACache::allSingletonOutputs(DFAStateId Start) {
   if (KnownAllSingleton[Start.idx()])
     return true;
+  if (KnownMixed[Start.idx()])
+    return false;
   std::deque<DFAStateId> Queue{Start};
-  std::unordered_set<uint32_t> Visited{Start.idx()};
+  // BFS tree: Parent[s] is the state whose transition enqueued s (Start
+  // is its own parent). Doubles as the visited set, and on failure gives
+  // the path of states that provably reach the violation.
+  std::unordered_map<uint32_t, uint32_t> Parent{{Start.idx(), Start.idx()}};
   std::vector<DFAStateId> Region;
+  auto FailAt = [&](DFAStateId Bad) {
+    // Every state on the BFS-tree path Start..Bad reaches Bad, so the
+    // negative verdict memoizes for the whole path — a repeated query on
+    // any of them (in particular Start) is O(1) from now on.
+    for (uint32_t X = Bad.idx();;) {
+      KnownMixed[X] = true;
+      uint32_t P = Parent.at(X);
+      if (P == X)
+        break;
+      X = P;
+    }
+    return false;
+  };
   while (!Queue.empty()) {
     DFAStateId S = Queue.front();
     Queue.pop_front();
     if (KnownAllSingleton[S.idx()])
       continue; // everything below S is already known good
-    if (Outputs[S.idx()].size() != 1)
-      return false;
+    ++CheckStatesVisited;
+    if (KnownMixed[S.idx()] || Outputs[S.idx()].size() != 1)
+      return FailAt(S);
     Region.push_back(S);
     for (const auto &[F, T] : transitions(S))
-      if (Visited.insert(T.idx()).second)
+      if (Parent.emplace(T.idx(), S.idx()).second)
         Queue.push_back(T);
   }
   // The whole region passed; remember it so shared suffixes are skipped.

@@ -22,9 +22,16 @@
 ///    every reachable state's output be a singleton (Condition 2 of
 ///    Definition 2.1).
 ///
-/// After materialize()/freeze(), all query methods are const and safe to
-/// call from multiple threads concurrently (the paper's parallel
-/// type-consistency checks build all shared automata beforehand).
+/// Freeze contract (the paper's parallel type-consistency checks, §5):
+/// the cache has two phases. In the *build* phase a single thread interns
+/// states, expands transitions, and runs SINGLETYPE-CHECK; both positive
+/// (KnownAllSingleton) and negative (KnownMixed) condition-2 verdicts are
+/// memoized. Once every region the checks will touch is materialized and
+/// every start state has a memoized verdict, freeze() flips the cache
+/// read-only; from then on only the `...Frozen` accessors (all `const`,
+/// zero writes) may be used, and they are safe from any number of threads
+/// concurrently. The mutating entry points assert `!Frozen`, so a stray
+/// write in the parallel phase dies in debug builds instead of racing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,12 +54,19 @@ public:
   /// (not its successors).
   DFAStateId startFor(ObjId O);
 
+  /// The already-interned start state {o} for \p O; never interns.
+  /// Requires a prior startFor(O)/materialize covering O (asserted), so it
+  /// is safe from worker threads after freeze().
+  DFAStateId startForFrozen(ObjId O) const;
+
   /// The q_error sink (always state 0).
   static constexpr DFAStateId errorState() { return DFAStateId(0); }
 
   /// Enumerated transitions of \p S, sorted by field: the fields its
   /// member objects actually have. Computes and memoizes them on first
-  /// use (must not be the first use after freeze()).
+  /// use (must not be the first use after freeze()). The reference is
+  /// invalidated by any later call that interns a new state; do not hold
+  /// it across transitions()/next() on a not-yet-computed state.
   const std::vector<std::pair<FieldId, DFAStateId>> &
   transitions(DFAStateId S);
 
@@ -80,19 +94,40 @@ public:
   const std::vector<ObjId> members(DFAStateId S) const;
 
   /// SINGLETYPE-CHECK (Condition 2 of Definition 2.1): every state
-  /// reachable from \p Start has a singleton output. Successful regions
-  /// are memoized, so repeated checks over shared sub-automata are cheap.
+  /// reachable from \p Start has a singleton output. Both verdicts are
+  /// memoized: successful regions are marked KnownAllSingleton, and on
+  /// failure the BFS-tree path from \p Start down to the offending state
+  /// is marked KnownMixed (each state on it reaches the violation), so
+  /// repeated checks over shared sub-automata — including repeated
+  /// queries on condition-2 violators — are O(1), not a fresh traversal.
   bool allSingletonOutputs(DFAStateId Start);
+
+  /// Memoized-only SINGLETYPE-CHECK for the frozen, thread-shared phase:
+  /// never mutates and never traverses. Requires that the mutating
+  /// allSingletonOutputs(\p S) ran before freeze() (asserted); with
+  /// assertions off an unmemoized state conservatively reads as mixed,
+  /// which keeps its object unmerged (sound, never unsound).
+  bool allSingletonOutputsFrozen(DFAStateId S) const {
+    assert((KnownAllSingleton[S.idx()] || KnownMixed[S.idx()]) &&
+           "condition-2 verdict not precomputed before the frozen phase");
+    return KnownAllSingleton[S.idx()];
+  }
 
   /// Expands every state reachable from \p Start so that all transitions
   /// are computed; afterwards queries on this region need no mutation.
   void materialize(DFAStateId Start);
 
-  /// Marks the cache read-only (debug aid for the parallel phase).
+  /// Flips the cache read-only: every mutating entry point asserts
+  /// !isFrozen() from here on, so the parallel phase provably performs
+  /// zero writes (see the freeze contract in the file header).
   void freeze() { Frozen = true; }
   bool isFrozen() const { return Frozen; }
 
   uint32_t numStates() const { return Sets.size(); }
+
+  /// States popped by allSingletonOutputs traversals since construction
+  /// (statistics; lets tests assert memoized re-queries do no BFS work).
+  uint64_t checkStatesVisited() const { return CheckStatesVisited; }
 
 private:
   DFAStateId intern(std::vector<uint32_t> SortedObjs);
@@ -104,8 +139,10 @@ private:
   std::vector<bool> TransComputed;
   std::vector<std::vector<TypeId>> Outputs;
   std::vector<bool> ContainsNull;
-  std::vector<bool> KnownAllSingleton; ///< memo for allSingletonOutputs
+  std::vector<bool> KnownAllSingleton; ///< positive condition-2 verdicts
+  std::vector<bool> KnownMixed;        ///< negative condition-2 verdicts
   DFAStateId NullState;                ///< the state {o_null}
+  uint64_t CheckStatesVisited = 0;     ///< BFS pops across all checks
   bool Frozen = false;
 };
 

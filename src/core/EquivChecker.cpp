@@ -41,7 +41,9 @@ void EquivChecker::LazyUnionFind::unite(uint32_t A, uint32_t B) {
 bool EquivChecker::equivalent(DFAStateId A, DFAStateId B) {
   if (A == B)
     return true;
-  const bool Frozen = Cache.isFrozen();
+  // Read-only checkers and frozen caches both take the const accessor
+  // path; lazy expansion happens only with a mutable, unfrozen cache.
+  const bool Frozen = !MutableCache || Cache.isFrozen();
   LazyUnionFind UF;
   std::vector<std::pair<DFAStateId, DFAStateId>> Stack;
 
@@ -66,14 +68,23 @@ bool EquivChecker::equivalent(DFAStateId A, DFAStateId B) {
     // The relevant alphabet is the union of both states' field sets; on
     // any other symbol both sides take the same default transition
     // (q_error / the null sink), which is trivially consistent.
+    if (!Frozen) {
+      // Computing one state's transitions can intern new states and move
+      // the transition-table headers, so force both computations before
+      // taking references into the table.
+      (void)MutableCache->transitions(P1);
+      (void)MutableCache->transitions(P2);
+    }
     const auto &T1 = Frozen ? Cache.transitionsFrozen(P1)
-                            : Cache.transitions(P1);
+                            : MutableCache->transitions(P1);
     const auto &T2 = Frozen ? Cache.transitionsFrozen(P2)
-                            : Cache.transitions(P2);
+                            : MutableCache->transitions(P2);
     size_t I = 0, J = 0;
     auto Step = [&](FieldId F) -> bool {
-      DFAStateId N1 = Frozen ? Cache.nextFrozen(P1, F) : Cache.next(P1, F);
-      DFAStateId N2 = Frozen ? Cache.nextFrozen(P2, F) : Cache.next(P2, F);
+      DFAStateId N1 =
+          Frozen ? Cache.nextFrozen(P1, F) : MutableCache->next(P1, F);
+      DFAStateId N2 =
+          Frozen ? Cache.nextFrozen(P2, F) : MutableCache->next(P2, F);
       if (UF.find(N1.idx()) == UF.find(N2.idx()))
         return true;
       return UniteChecked(N1, N2);

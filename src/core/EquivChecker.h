@@ -28,9 +28,18 @@ namespace mahjong::core {
 /// Decides language-and-output equivalence of two DFA states.
 class EquivChecker {
 public:
-  /// \p Cache must outlive the checker. If the cache is frozen, only
-  /// already-materialized regions may be queried.
-  explicit EquivChecker(DFACache &Cache) : Cache(Cache) {}
+  /// Lazy mode: \p Cache must outlive the checker; unmaterialized states
+  /// are expanded on demand (single-threaded use only). If the cache is
+  /// frozen, queries route through the const accessors automatically.
+  explicit EquivChecker(DFACache &Cache)
+      : Cache(Cache), MutableCache(&Cache) {}
+
+  /// Read-only mode for the parallel phase: the checker can never write
+  /// to \p Cache (enforced by const), so any number of checkers may run
+  /// concurrently. Every queried region must already be materialized
+  /// (asserted per state by the frozen accessors).
+  explicit EquivChecker(const DFACache &Cache)
+      : Cache(Cache), MutableCache(nullptr) {}
 
   /// \returns true iff the automata rooted at \p A and \p B have
   /// identical behavior β: Σ* → P(Γ) (Condition 1 of Definition 2.1
@@ -51,7 +60,8 @@ private:
     std::unordered_map<uint32_t, uint32_t> Parent;
   };
 
-  DFACache &Cache;
+  const DFACache &Cache;
+  DFACache *MutableCache; ///< null in read-only mode
   uint64_t PairsExamined = 0;
 };
 

@@ -33,16 +33,17 @@ struct TypeBucket {
 /// Partitions the bucket into type-consistency classes with the paper's
 /// plain scan: each object is compared against the representative of
 /// every existing class (one Hopcroft-Karp query each) and joins the
-/// first match.
-void processBucketByScan(TypeBucket &Bucket, DFACache &Cache,
+/// first match. Performs zero writes to the cache — every start state
+/// and condition-2 verdict was precomputed by modelHeap's build phase.
+void processBucketByScan(TypeBucket &Bucket, const DFACache &Cache,
                          bool EnforceCondition2) {
   EquivChecker Checker(Cache);
   std::vector<DFAStateId> GroupStart; // start state per group
   for (ObjId O : Bucket.Objs) {
-    DFAStateId Start = Cache.startFor(O);
+    DFAStateId Start = Cache.startForFrozen(O);
     // Condition 2 (SINGLETYPE-CHECK): objects whose automata can reach a
     // mixed-type state stay unmerged (lines 6-7 of Algorithm 1).
-    if (EnforceCondition2 && !Cache.allSingletonOutputs(Start)) {
+    if (EnforceCondition2 && !Cache.allSingletonOutputsFrozen(Start)) {
       Bucket.Groups.push_back({O});
       GroupStart.push_back(DFAStateId::invalid());
       continue;
@@ -65,41 +66,48 @@ void processBucketByScan(TypeBucket &Bucket, DFACache &Cache,
   }
 }
 
-/// Same result, but candidates are pre-grouped by the global behavioral
-/// partition; Hopcroft-Karp certifies each member against its group's
-/// representative (one near-linear query per object instead of one per
-/// (object, class) pair).
-void processBucketByPartition(TypeBucket &Bucket, DFACache &Cache,
-                              const DFAPartition &Partition,
-                              bool EnforceCondition2) {
+} // namespace
+
+std::vector<std::vector<ObjId>> mahjong::core::groupByBlockOracle(
+    const std::vector<ObjId> &Objs, const DFACache &Cache,
+    const std::function<uint32_t(DFAStateId)> &BlockOf,
+    bool EnforceCondition2, uint64_t &PairsTested) {
   EquivChecker Checker(Cache);
-  std::map<uint32_t, size_t> GroupOfBlock;
+  std::vector<std::vector<ObjId>> Groups;
   std::vector<DFAStateId> GroupStart;
-  for (ObjId O : Bucket.Objs) {
-    DFAStateId Start = Cache.startFor(O);
-    if (EnforceCondition2 && !Cache.allSingletonOutputs(Start)) {
-      Bucket.Groups.push_back({O});
+  // Candidate groups per oracle block. With an exact oracle
+  // (DFAPartition) each block holds exactly one group and every
+  // certification succeeds on the first try; an over-merging oracle
+  // merely makes the list grow, never the result change.
+  std::map<uint32_t, std::vector<size_t>> GroupsOfBlock;
+  for (ObjId O : Objs) {
+    DFAStateId Start = Cache.startForFrozen(O);
+    if (EnforceCondition2 && !Cache.allSingletonOutputsFrozen(Start)) {
+      Groups.push_back({O});
       GroupStart.push_back(DFAStateId::invalid());
       continue;
     }
-    uint32_t Blk = Partition.blockOf(Start);
-    auto [It, Fresh] = GroupOfBlock.try_emplace(Blk, Bucket.Groups.size());
-    if (Fresh) {
-      Bucket.Groups.push_back({O});
-      GroupStart.push_back(Start);
-      continue;
+    std::vector<size_t> &Candidates = GroupsOfBlock[BlockOf(Start)];
+    bool Joined = false;
+    for (size_t GIdx : Candidates) {
+      ++PairsTested;
+      if (Checker.equivalent(GroupStart[GIdx], Start)) {
+        Groups[GIdx].push_back(O);
+        Joined = true;
+        break;
+      }
     }
-    ++Bucket.PairsTested;
-    bool Equal = Checker.equivalent(GroupStart[It->second], Start);
-    assert(Equal && "partition disagrees with Hopcroft-Karp");
-    if (Equal)
-      Bucket.Groups[It->second].push_back(O);
-    else
-      Bucket.Groups.push_back({O}), GroupStart.push_back(Start);
+    if (!Joined) {
+      // Either a fresh block or the oracle disagreed with Hopcroft-Karp;
+      // in both cases the new group must be registered as a candidate so
+      // later members of this block are tested against it.
+      Candidates.push_back(Groups.size());
+      Groups.push_back({O});
+      GroupStart.push_back(Start);
+    }
   }
+  return Groups;
 }
-
-} // namespace
 
 HeapModelerResult mahjong::core::modelHeap(const FieldPointsToGraph &G,
                                            DFACache &Cache,
@@ -119,8 +127,10 @@ HeapModelerResult mahjong::core::modelHeap(const FieldPointsToGraph &G,
   Result.NumReachableObjs = G.numReachableObjs();
 
   // Build all shared automata up front: the behavioral partition needs
-  // the complete state space, and the parallel phase must only read the
-  // cache (the paper's synchronization-free scheme).
+  // the complete state space, and the bucket phase only ever reads the
+  // cache (the paper's synchronization-free scheme). Condition-2 verdicts
+  // — positive and negative — are memoized here too, so the per-bucket
+  // checks below are pure lookups.
   for (auto &[TypeIdx, Bucket] : Buckets)
     for (ObjId O : Bucket.Objs)
       Cache.materialize(Cache.startFor(O));
@@ -133,15 +143,23 @@ HeapModelerResult mahjong::core::modelHeap(const FieldPointsToGraph &G,
   if (Opts.UsePartitionIndex)
     Partition = std::make_unique<DFAPartition>(Cache);
 
-  auto RunBucket = [&](TypeBucket &Bucket) {
+  // The bucket phase sees the cache as const: serial and parallel runs
+  // execute the identical read-only code path, so their results agree
+  // bit for bit and worker threads cannot write to shared state.
+  const DFACache &SharedCache = Cache;
+  auto RunBucket = [&, Partition = Partition.get()](TypeBucket &Bucket) {
     if (Partition)
-      processBucketByPartition(Bucket, Cache, *Partition,
-                               Opts.EnforceCondition2);
+      Bucket.Groups = groupByBlockOracle(
+          Bucket.Objs, SharedCache,
+          [Partition](DFAStateId S) { return Partition->blockOf(S); },
+          Opts.EnforceCondition2, Bucket.PairsTested);
     else
-      processBucketByScan(Bucket, Cache, Opts.EnforceCondition2);
+      processBucketByScan(Bucket, SharedCache, Opts.EnforceCondition2);
   };
 
   if (Opts.Threads > 1) {
+    // From here on the workers may only use the const `...Frozen`
+    // accessors; freeze() arms the assertions that enforce it.
     Cache.freeze();
     ThreadPool Pool(Opts.Threads);
     for (auto &[TypeIdx, Bucket] : Buckets) {

@@ -23,6 +23,7 @@
 #include "core/DFACache.h"
 #include "core/FieldPointsToGraph.h"
 
+#include <functional>
 #include <vector>
 
 namespace mahjong::core {
@@ -67,6 +68,20 @@ struct HeapModelerResult {
 /// Runs Algorithm 1 over \p G using \p Cache for automata.
 HeapModelerResult modelHeap(const FieldPointsToGraph &G, DFACache &Cache,
                             const HeapModelerOptions &Opts = {});
+
+/// The partition-indexed grouping step of Algorithm 1, parameterized by
+/// an arbitrary block oracle (normally DFAPartition::blockOf). Objects
+/// whose start states share a block are candidates for the same group;
+/// Hopcroft-Karp still certifies every membership, so the result is
+/// correct — identical to the plain object-vs-representative scan — even
+/// if the oracle over-merges blocks. Exposed so tests can drive the
+/// disagreement path with a lying oracle. \p Cache must have every
+/// object's start region materialized and (when \p EnforceCondition2)
+/// condition-2 verdicts memoized; the function performs zero writes.
+std::vector<std::vector<ObjId>>
+groupByBlockOracle(const std::vector<ObjId> &Objs, const DFACache &Cache,
+                   const std::function<uint32_t(DFAStateId)> &BlockOf,
+                   bool EnforceCondition2, uint64_t &PairsTested);
 
 /// Groups reachable objects by representative. Pairs (representative,
 /// members) are sorted by descending class size — the layout of the

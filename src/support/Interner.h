@@ -56,6 +56,9 @@ public:
     return It == Map.end() ? IdT::invalid() : IdT(It->second);
   }
 
+  /// Returns the stored value for \p Id. The reference is invalidated by
+  /// the next intern() that adds a value (the backing vector may move), so
+  /// copy the value before interning anything else.
   const V &get(IdT Id) const {
     assert(Id.idx() < Values.size() && "interner id out of range");
     return Values[Id.idx()];

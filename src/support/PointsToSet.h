@@ -60,6 +60,8 @@ public:
   }
 
   /// Unions \p Other into this set. \returns true if the set changed.
+  /// A union that adds nothing — the common case once a solver reaches
+  /// its fixpoint — is a pure merge-join scan: it allocates nothing.
   bool unionWith(const PointsToSet &Other) {
     if (Other.empty())
       return false;
@@ -73,10 +75,36 @@ public:
       Count += Other.Count;
       return true;
     }
+    // Pre-scan: walk the join until Other contributes its first new bit.
+    // If it never does, the union is a no-op and we are done without
+    // having materialized anything.
+    size_t I = 0, J = 0;
     bool Changed = false;
+    while (J < Other.Chunks.size()) {
+      if (I >= Chunks.size() || Other.Chunks[J].Index < Chunks[I].Index) {
+        Changed = true; // a chunk we lack entirely
+        break;
+      }
+      if (Chunks[I].Index < Other.Chunks[J].Index) {
+        ++I;
+        continue;
+      }
+      if (Other.Chunks[J].Word & ~Chunks[I].Word) {
+        Changed = true; // new bits inside a shared chunk
+        break;
+      }
+      ++I;
+      ++J;
+    }
+    if (!Changed)
+      return false;
+    // Something new exists: now the merge allocation is justified. The
+    // prefix up to (I, J) is already known to carry nothing new, but
+    // re-merging it keeps the join trivially correct.
     std::vector<Chunk> Merged;
     Merged.reserve(Chunks.size() + Other.Chunks.size());
-    size_t I = 0, J = 0;
+    I = 0;
+    J = 0;
     while (I < Chunks.size() || J < Other.Chunks.size()) {
       if (J >= Other.Chunks.size() ||
           (I < Chunks.size() && Chunks[I].Index < Other.Chunks[J].Index)) {
@@ -85,21 +113,16 @@ public:
                  Other.Chunks[J].Index < Chunks[I].Index) {
         Merged.push_back(Other.Chunks[J++]);
         Count += std::popcount(Merged.back().Word);
-        Changed = true;
       } else {
         uint64_t Added = Other.Chunks[J].Word & ~Chunks[I].Word;
-        if (Added) {
-          Count += std::popcount(Added);
-          Changed = true;
-        }
+        Count += std::popcount(Added);
         Merged.push_back({Chunks[I].Index, Chunks[I].Word | Added});
         ++I;
         ++J;
       }
     }
-    if (Changed)
-      Chunks = std::move(Merged);
-    return Changed;
+    Chunks = std::move(Merged);
+    return true;
   }
 
   /// Computes \p Other minus this set (the elements of Other we lack).

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include <utility>
+
 using namespace mahjong;
 
 ThreadPool::ThreadPool(unsigned NumThreads) {
@@ -37,6 +39,11 @@ void ThreadPool::enqueue(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+  if (FirstError) {
+    std::exception_ptr Error = std::exchange(FirstError, nullptr);
+    Lock.unlock();
+    std::rethrow_exception(Error);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -52,9 +59,16 @@ void ThreadPool::workerLoop() {
       Tasks.pop_front();
       ++Active;
     }
-    Task();
+    std::exception_ptr Error;
+    try {
+      Task();
+    } catch (...) {
+      Error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
+      if (Error && !FirstError)
+        FirstError = std::move(Error);
       --Active;
       if (Tasks.empty() && Active == 0)
         AllDone.notify_all();

@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,7 +39,10 @@ public:
   /// Schedules \p Task for execution on some worker.
   void enqueue(std::function<void()> Task);
 
-  /// Blocks until every enqueued task has finished running.
+  /// Blocks until every enqueued task has finished running. If any task
+  /// exited with an exception, rethrows the first one captured (the rest
+  /// are dropped); the pool stays usable afterwards. Exceptions still
+  /// pending at destruction are discarded.
   void wait();
 
   unsigned numThreads() const {
@@ -53,6 +57,7 @@ private:
   std::mutex Mutex;
   std::condition_variable TaskAvailable;
   std::condition_variable AllDone;
+  std::exception_ptr FirstError; ///< first task exception, for wait()
   size_t Active = 0;
   bool ShuttingDown = false;
 };

@@ -164,6 +164,84 @@ TEST(DFACache, SingleTypeCheckRejectsObjectMixedWithNull) {
   EXPECT_FALSE(Cache.allSingletonOutputs(Cache.startFor(ObjId(1))));
 }
 
+TEST(DFACache, RepeatedViolatorQueryIsConstantTime) {
+  // o0.f0 reaches a mixed-type state: the first query walks the region,
+  // every later query must answer from the KnownMixed memo without any
+  // BFS work (the condition-2 negative-result regression).
+  GraphSpec G;
+  G.NumTypes = 3;
+  G.NumFields = 1;
+  G.TypeOf = {0, 1, 2};
+  G.Edges = {{0, 0, 1}, {0, 0, 2}};
+  Built B = buildGraph(G);
+  DFAStateId Start = B.Cache->startFor(graphObj(0));
+  uint64_t Before = B.Cache->checkStatesVisited();
+  EXPECT_FALSE(B.Cache->allSingletonOutputs(Start));
+  EXPECT_GT(B.Cache->checkStatesVisited(), Before) << "first query walks";
+  uint64_t AfterFirst = B.Cache->checkStatesVisited();
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(B.Cache->allSingletonOutputs(Start));
+  EXPECT_EQ(B.Cache->checkStatesVisited(), AfterFirst)
+      << "repeated queries on a violator must not re-traverse its region";
+}
+
+TEST(DFACache, NegativeVerdictMemoizesAlongTheFailurePath) {
+  // A chain o0 -> o1 -> {o2,o3} whose tip mixes T1 and T2: failing the
+  // check from o0 marks the whole BFS path mixed, so a later query from
+  // the intermediate o1 is answered without traversal.
+  GraphSpec G;
+  G.NumTypes = 3;
+  G.NumFields = 1;
+  G.TypeOf = {0, 1, 1, 2};
+  G.Edges = {{0, 0, 1}, {1, 0, 2}, {1, 0, 3}};
+  Built B = buildGraph(G);
+  EXPECT_FALSE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(0))));
+  uint64_t AfterRoot = B.Cache->checkStatesVisited();
+  EXPECT_FALSE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(1))));
+  EXPECT_EQ(B.Cache->checkStatesVisited(), AfterRoot)
+      << "the shared suffix verdict was memoized by the first failure";
+}
+
+TEST(DFACache, MixedVerdictSharedAcrossRootsStopsEarly) {
+  // Two roots funnel into the same mixed suffix: the second root's query
+  // stops as soon as it touches the known-mixed shared state instead of
+  // exploring past it.
+  GraphSpec G;
+  G.NumTypes = 4;
+  G.NumFields = 1;
+  G.TypeOf = {0, 3, 1, 2};
+  G.Edges = {{0, 0, 2}, {0, 0, 3}, {1, 0, 2}, {1, 0, 3}};
+  Built B = buildGraph(G);
+  EXPECT_FALSE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(0))));
+  uint64_t AfterFirst = B.Cache->checkStatesVisited();
+  EXPECT_FALSE(B.Cache->allSingletonOutputs(B.Cache->startFor(graphObj(1))));
+  uint64_t SecondCost = B.Cache->checkStatesVisited() - AfterFirst;
+  EXPECT_LE(SecondCost, 2u)
+      << "the second root pays for its own start plus the shared state";
+}
+
+TEST(DFACache, FrozenVerdictsMatchMutatingVerdicts) {
+  GraphSpec G;
+  G.NumTypes = 3;
+  G.NumFields = 2;
+  G.TypeOf = {0, 1, 2, 1, 1};
+  G.Edges = {{0, 0, 1}, {0, 0, 2}, {3, 1, 4}};
+  Built B = buildGraph(G);
+  std::vector<bool> Want;
+  for (unsigned I = 0; I < G.TypeOf.size(); ++I) {
+    DFAStateId S = B.Cache->startFor(graphObj(I));
+    B.Cache->materialize(S);
+    Want.push_back(B.Cache->allSingletonOutputs(S));
+  }
+  B.Cache->freeze();
+  for (unsigned I = 0; I < G.TypeOf.size(); ++I) {
+    DFAStateId S = B.Cache->startForFrozen(graphObj(I));
+    EXPECT_EQ(B.Cache->startFor(graphObj(I)), S)
+        << "frozen start lookup agrees with the interning path";
+    EXPECT_EQ(B.Cache->allSingletonOutputsFrozen(S), Want[I]) << "object " << I;
+  }
+}
+
 TEST(DFACache, MaterializeThenFrozenQueriesAgree) {
   GraphSpec G;
   G.NumTypes = 2;

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <random>
 
 using namespace mahjong;
@@ -187,6 +189,68 @@ TEST(HeapModeler, MergingRespectsTypes) {
   for (uint32_t I = 0; I < M.Result.MOM.size(); ++I)
     EXPECT_EQ(M.P->obj(ObjId(I)).Type, M.P->obj(M.Result.MOM[I]).Type)
         << "an object and its representative always share a type";
+}
+
+// --- The partition-disagreement fallback (release-mode regression) ---
+
+// A lying block oracle maps every start state to one block, forcing the
+// grouping loop down the path where Hopcroft-Karp rejects candidate
+// after candidate. The old code only handled rejection via an assert and
+// (in release builds) forgot to register fresh groups with their block,
+// so later objects were re-tested against a stale representative. The
+// restructured loop must produce exactly the plain scan's groups under
+// ANY oracle.
+TEST(HeapModeler, LyingBlockOracleStillGroupsCorrectly) {
+  workload::WorkloadSpec Spec;
+  Spec.Seed = 7;
+  Spec.Modules = 4;
+  Spec.MixedPerMille = 150;
+  auto P = workload::buildSyntheticProgram(Spec);
+  ClassHierarchy CH(*P);
+  pta::AnalysisOptions PreOpts;
+  auto Pre = pta::runPointerAnalysis(*P, CH, PreOpts);
+  FieldPointsToGraph G(*Pre);
+
+  // Reference: the paper's plain object-vs-representative scan.
+  DFACache ScanCache(G);
+  HeapModelerOptions Scan;
+  Scan.UsePartitionIndex = false;
+  HeapModelerResult Want = modelHeap(G, ScanCache, Scan);
+
+  // Materialize and pre-warm a fresh cache the way modelHeap does.
+  DFACache Cache(G);
+  for (ObjId O : G.reachableObjs()) {
+    Cache.materialize(Cache.startFor(O));
+    Cache.allSingletonOutputs(Cache.startFor(O));
+  }
+  std::map<uint32_t, std::vector<ObjId>> Buckets;
+  for (ObjId O : G.reachableObjs())
+    Buckets[P->obj(O).Type.idx()].push_back(O);
+
+  std::vector<ObjId> MOM(P->numObjs());
+  for (uint32_t I = 0; I < P->numObjs(); ++I)
+    MOM[I] = ObjId(I);
+  uint64_t PairsTested = 0;
+  for (auto &[TypeIdx, Objs] : Buckets) {
+    auto Groups = groupByBlockOracle(
+        Objs, Cache, [](DFAStateId) { return 0u; },
+        /*EnforceCondition2=*/true, PairsTested);
+    // Consistency: groups cover the bucket exactly once, and every
+    // member merges to the group's first (lowest-id) object.
+    size_t Covered = 0;
+    for (const std::vector<ObjId> &Group : Groups) {
+      ASSERT_FALSE(Group.empty());
+      Covered += Group.size();
+      ObjId Repr = *std::min_element(Group.begin(), Group.end());
+      for (ObjId Member : Group)
+        MOM[Member.idx()] = Repr;
+    }
+    ASSERT_EQ(Covered, Objs.size());
+  }
+  EXPECT_EQ(MOM, Want.MOM)
+      << "a degenerate oracle must not change the equivalence classes";
+  EXPECT_GE(PairsTested, Want.PairsTested)
+      << "the lying oracle can only add certification work, never skip it";
 }
 
 // --- Property sweeps ---

@@ -1,0 +1,119 @@
+//===-- tests/core/ParallelModelerStressTest.cpp -----------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel pre-pass under load: serial and parallel modelHeap must
+// produce bit-identical merged object maps on every benchmark profile,
+// and a many-threaded run over a large synthetic workload exercises the
+// frozen DFACache from concurrent workers (the ThreadSanitizer canary —
+// any post-freeze write or unsynchronized read shows up here).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HeapModeler.h"
+
+#include "../TestUtil.h"
+#include "workload/BenchmarkPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace mahjong;
+using namespace mahjong::core;
+using namespace mahjong::ir;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ClassHierarchy> CH;
+  std::unique_ptr<pta::PTAResult> Pre;
+  std::unique_ptr<FieldPointsToGraph> G;
+};
+
+Prepared prepare(std::unique_ptr<Program> P) {
+  Prepared R;
+  R.P = std::move(P);
+  R.CH = std::make_unique<ClassHierarchy>(*R.P);
+  pta::AnalysisOptions PreOpts;
+  R.Pre = pta::runPointerAnalysis(*R.P, *R.CH, PreOpts);
+  R.G = std::make_unique<FieldPointsToGraph>(*R.Pre);
+  return R;
+}
+
+HeapModelerResult run(const Prepared &R, unsigned Threads,
+                      bool UsePartitionIndex = true) {
+  DFACache Cache(*R.G);
+  HeapModelerOptions Opts;
+  Opts.Threads = Threads;
+  Opts.UsePartitionIndex = UsePartitionIndex;
+  return modelHeap(*R.G, Cache, Opts);
+}
+
+} // namespace
+
+// Acceptance gate: parallel and serial modelHeap agree bit for bit on
+// all 12 workload profiles, for both grouping strategies.
+TEST(ParallelModeler, SerialAndParallelAgreeOnAllProfiles) {
+  for (const std::string &Name : workload::benchmarkNames()) {
+    // Scale 0.05 keeps the whole 12-profile sweep a few seconds even
+    // under ThreadSanitizer; determinism does not depend on heap size.
+    Prepared R =
+        prepare(workload::buildBenchmarkProgram(Name, /*Scale=*/0.05));
+    HeapModelerResult Serial = run(R, 1);
+    HeapModelerResult Parallel = run(R, 4);
+    ASSERT_EQ(Serial.MOM, Parallel.MOM) << "profile " << Name;
+    ASSERT_EQ(Serial.NumClasses, Parallel.NumClasses) << "profile " << Name;
+    ASSERT_EQ(Serial.PairsTested, Parallel.PairsTested)
+        << "profile " << Name
+        << ": the two runs must do the same certification work";
+    HeapModelerResult SerialScan = run(R, 1, /*UsePartitionIndex=*/false);
+    HeapModelerResult ParallelScan = run(R, 4, /*UsePartitionIndex=*/false);
+    ASSERT_EQ(SerialScan.MOM, ParallelScan.MOM) << "profile " << Name;
+    ASSERT_EQ(Serial.MOM, SerialScan.MOM)
+        << "profile " << Name << ": strategy must not change the classes";
+  }
+}
+
+// Oversubscribed stress on one large heterogeneous workload: more
+// threads than cores, repeated runs, every run identical. Under TSan
+// this is the test that proves the frozen-cache discipline — workers
+// share one DFACache and may only read it.
+TEST(ParallelModeler, OversubscribedRunsAreIdenticalOnLargeWorkload) {
+  workload::WorkloadSpec Spec;
+  Spec.Name = "stress";
+  Spec.Seed = 42;
+  Spec.Modules = 96;
+  Spec.BoxSitesPerModule = 8;
+  Spec.EngineSitesPerModule = 6;
+  Spec.ElemSitesPerModule = 10;
+  Spec.MixedPerMille = 200;      // plenty of condition-2 violators
+  Spec.PollutedEnginePerMille = 300;
+  Spec.ElemChainPerMille = 400;
+  Prepared R = prepare(workload::buildSyntheticProgram(Spec));
+
+  HeapModelerResult Reference = run(R, 1);
+  EXPECT_GT(Reference.NumReachableObjs, 2000u)
+      << "the stress workload should be genuinely large";
+  unsigned Threads = std::max(8u, 2 * std::thread::hardware_concurrency());
+  for (int Round = 0; Round < 3; ++Round) {
+    HeapModelerResult Parallel = run(R, Threads);
+    ASSERT_EQ(Reference.MOM, Parallel.MOM) << "round " << Round;
+    ASSERT_EQ(Reference.PairsTested, Parallel.PairsTested)
+        << "round " << Round;
+  }
+}
+
+// Many buckets, few threads, and a thread count far above the bucket
+// count both funnel through the same pool without losing work.
+TEST(ParallelModeler, ThreadCountSweepIsStable) {
+  Prepared R = prepare(workload::buildBenchmarkProgram("pmd", /*Scale=*/0.05));
+  HeapModelerResult Reference = run(R, 1);
+  for (unsigned Threads : {2u, 3u, 16u, 64u}) {
+    HeapModelerResult Parallel = run(R, Threads);
+    ASSERT_EQ(Reference.MOM, Parallel.MOM) << Threads << " threads";
+  }
+}

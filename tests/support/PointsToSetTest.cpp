@@ -123,6 +123,64 @@ TEST(PointsToSet, ClearResets) {
   EXPECT_FALSE(S.contains(42));
 }
 
+TEST(PointsToSet, NoOpUnionKeepsCountExact) {
+  // Subset unions (no-ops) must neither change contents nor drift Count.
+  PointsToSet A, Sub;
+  for (uint32_t E : {1u, 63u, 64u, 200u, 4096u})
+    A.insert(E);
+  for (uint32_t E : {63u, 200u})
+    Sub.insert(E);
+  PointsToSet Before = A;
+  for (int Round = 0; Round < 3; ++Round) {
+    EXPECT_FALSE(A.unionWith(Sub));
+    EXPECT_FALSE(A.unionWith(A));
+    EXPECT_EQ(A.size(), 5u);
+    EXPECT_TRUE(A == Before);
+  }
+}
+
+TEST(PointsToSet, FastPathAppendKeepsCountExact) {
+  // Other entirely beyond our maximum chunk: the append fast path.
+  PointsToSet A, Tail;
+  for (uint32_t E : {1u, 2u, 100u})
+    A.insert(E);
+  for (uint32_t E : {1000u, 1001u, 2000u})
+    Tail.insert(E);
+  EXPECT_TRUE(A.unionWith(Tail));
+  EXPECT_EQ(A.size(), 6u);
+  EXPECT_EQ(A.toVector(),
+            (std::vector<uint32_t>{1, 2, 100, 1000, 1001, 2000}));
+  EXPECT_FALSE(A.unionWith(Tail)) << "the same append again is a no-op";
+  EXPECT_EQ(A.size(), 6u);
+}
+
+TEST(PointsToSet, OverlappingUnionKeepsCountExact) {
+  // Shared chunks with partially-new words, interleaved with chunks only
+  // one side has — the general merge.
+  PointsToSet A, B;
+  for (uint32_t E : {0u, 1u, 64u, 300u})
+    A.insert(E);
+  for (uint32_t E : {1u, 65u, 128u, 300u, 301u})
+    B.insert(E);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(A.size(), 7u);
+  EXPECT_EQ(A.toVector(), (std::vector<uint32_t>{0, 1, 64, 65, 128, 300, 301}));
+  EXPECT_FALSE(A.unionWith(B)) << "B is now a subset";
+  EXPECT_EQ(A.size(), 7u);
+}
+
+TEST(PointsToSet, NoOpUnionWithInterleavedUniqueChunks) {
+  // A owns chunks Other lacks on both sides of every shared chunk: the
+  // no-op pre-scan must skip over them without declaring a change.
+  PointsToSet A, Sub;
+  for (uint32_t E : {0u, 128u, 256u, 384u})
+    A.insert(E);
+  for (uint32_t E : {128u, 384u})
+    Sub.insert(E);
+  EXPECT_FALSE(A.unionWith(Sub));
+  EXPECT_EQ(A.size(), 4u);
+}
+
 /// Property: a random operation sequence matches std::set semantics.
 class PointsToSetRandomTest : public ::testing::TestWithParam<unsigned> {};
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 using namespace mahjong;
 
@@ -46,6 +47,36 @@ TEST(ThreadPool, SingleThreadStillWorks) {
     Pool.enqueue([&Sum, I] { Sum += I; });
   Pool.wait();
   EXPECT_EQ(Sum.load(), 55);
+}
+
+TEST(ThreadPool, WaitRethrowsWorkerException) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  Pool.enqueue([&Ran] { ++Ran; });
+  Pool.enqueue([] { throw std::runtime_error("task failed"); });
+  Pool.enqueue([&Ran] { ++Ran; });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 2) << "other tasks still ran to completion";
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool Pool(2);
+  Pool.enqueue([] { throw std::runtime_error("first batch fails"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The error is consumed: the pool accepts and runs new work cleanly.
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 10; ++I)
+    Pool.enqueue([&Counter] { ++Counter; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Counter.load(), 10);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsWins) {
+  ThreadPool Pool(4);
+  for (int I = 0; I < 8; ++I)
+    Pool.enqueue([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_NO_THROW(Pool.wait()) << "remaining exceptions were dropped";
 }
 
 TEST(ThreadPool, DisjointWorkPartitionsAreRaceFree) {
