@@ -1,0 +1,423 @@
+//===-- cli/Driver.cpp - Testable command-line driver ------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cli/Driver.h"
+
+#include "clients/Clients.h"
+#include "core/GraphExport.h"
+#include "core/Mahjong.h"
+#include "ir/Parser.h"
+#include "pta/FactsExport.h"
+#include "serve/QueryEngine.h"
+#include "serve/Snapshot.h"
+#include "serve/Traffic.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mahjong;
+using namespace mahjong::cli;
+
+namespace {
+
+int usage(std::ostream &Err) {
+  Err << "usage: mahjong-cli <command> [options]\n"
+         "commands:\n"
+         "  analyze <file.mj> [--analysis ci|2cs|2obj|3obj|2type|3type]\n"
+         "                    [--heap site|type|mahjong] [--budget SECONDS]\n"
+         "                    [--facts DIR] [--save-snapshot FILE.mjsnap]\n"
+         "  query <file.mjsnap> <query...>   e.g. query s.mjsnap points-to "
+         "Main.main/0::x\n"
+         "  serve-bench <file.mjsnap> [--spec FILE] [--smoke]\n"
+         "  merge-report <file.mj>\n"
+         "  dot-fpg <file.mj> <objIndex>\n"
+         "  dot-dfa <file.mj> <objIndex>\n"
+         "  dot-callgraph <file.mj>\n"
+         "exit codes: 0 ok, 1 io error, 2 usage, 3 parse error, "
+         "4 analysis error\n";
+  return ExitUsage;
+}
+
+/// Flag cursor distinguishing "unknown flag" from "flag missing its
+/// value", so both diagnostics can name the offending flag.
+class FlagParser {
+public:
+  FlagParser(int Argc, const char *const *Argv, int First,
+             std::ostream &Err)
+      : Argc(Argc), Argv(Argv), I(First), Err(Err) {}
+
+  bool done() const { return I >= Argc; }
+  const char *current() const { return Argv[I]; }
+
+  /// If the current flag is \p Flag, consumes it and its value.
+  bool take(const char *Flag, std::string &Value) {
+    if (std::strcmp(Argv[I], Flag) != 0)
+      return false;
+    if (I + 1 >= Argc) {
+      Err << "error: flag '" << Flag << "' requires a value\n";
+      Malformed = true;
+      return false;
+    }
+    Value = Argv[++I];
+    ++I;
+    return true;
+  }
+
+  /// If the current flag is \p Flag (valueless), consumes it.
+  bool takeBare(const char *Flag) {
+    if (std::strcmp(Argv[I], Flag) != 0)
+      return false;
+    ++I;
+    return true;
+  }
+
+  /// True once a malformed flag has been reported via take().
+  bool malformed() const { return Malformed; }
+
+  /// Reports the current token as unknown and fails the parse.
+  int unknown() {
+    Err << "error: unknown option '" << Argv[I] << "'\n";
+    return ExitUsage;
+  }
+
+private:
+  int Argc;
+  const char *const *Argv;
+  int I;
+  std::ostream &Err;
+  bool Malformed = false;
+};
+
+std::unique_ptr<ir::Program> load(const char *Path, std::ostream &Err,
+                                  int &Exit) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err << "error: cannot open '" << Path << "'\n";
+    Exit = ExitIOError;
+    return nullptr;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string ParseErr;
+  auto P = ir::parseProgram(Buf.str(), ParseErr);
+  if (!P) {
+    Err << Path << ":" << ParseErr << ": parse error\n";
+    Exit = ExitParseError;
+  }
+  return P;
+}
+
+std::shared_ptr<const serve::SnapshotData>
+loadSnap(const char *Path, std::ostream &Err, int &Exit) {
+  std::string LoadErr;
+  std::shared_ptr<const serve::SnapshotData> D =
+      serve::loadSnapshot(Path, LoadErr);
+  if (!D) {
+    Err << "error: " << LoadErr << "\n";
+    // "cannot open" is an I/O failure; everything else means the bytes
+    // did not decode.
+    Exit = LoadErr.rfind("cannot open", 0) == 0 ? ExitIOError
+                                                : ExitParseError;
+  }
+  return D;
+}
+
+bool parseAnalysis(const std::string &Name, pta::ContextKind &Kind,
+                   unsigned &K) {
+  if (Name == "ci") {
+    Kind = pta::ContextKind::Insensitive;
+    K = 0;
+    return true;
+  }
+  auto Depth = [&Name, &K](size_t SuffixLen) {
+    K = Name[0] - '0';
+    return Name.size() == SuffixLen + 1 && K >= 1 && K <= 9;
+  };
+  if (Name.size() >= 2 && std::isdigit(static_cast<unsigned char>(Name[0]))) {
+    if (Name.substr(1) == "cs") {
+      Kind = pta::ContextKind::CallSite;
+      return Depth(2);
+    }
+    if (Name.substr(1) == "obj") {
+      Kind = pta::ContextKind::Object;
+      return Depth(3);
+    }
+    if (Name.substr(1) == "type") {
+      Kind = pta::ContextKind::Type;
+      return Depth(4);
+    }
+  }
+  return false;
+}
+
+int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
+               std::ostream &Err) {
+  if (Argc < 3)
+    return usage(Err);
+  std::string Analysis = "2obj", HeapKind = "mahjong", FactsDir, SnapPath,
+              BudgetStr;
+  FlagParser Flags(Argc, Argv, 3, Err);
+  while (!Flags.done()) {
+    if (Flags.take("--analysis", Analysis) || Flags.take("--heap", HeapKind) ||
+        Flags.take("--budget", BudgetStr) || Flags.take("--facts", FactsDir) ||
+        Flags.take("--save-snapshot", SnapPath))
+      continue;
+    return Flags.malformed() ? ExitUsage : Flags.unknown();
+  }
+  double Budget = 0;
+  if (!BudgetStr.empty()) {
+    char *End = nullptr;
+    Budget = std::strtod(BudgetStr.c_str(), &End);
+    if (!End || *End != '\0' || Budget < 0) {
+      Err << "error: flag '--budget' needs a non-negative number, got '"
+          << BudgetStr << "'\n";
+      return ExitUsage;
+    }
+  }
+  pta::ContextKind Kind;
+  unsigned K;
+  if (!parseAnalysis(Analysis, Kind, K)) {
+    Err << "error: flag '--analysis' got unknown analysis '" << Analysis
+        << "'\n";
+    return ExitUsage;
+  }
+  int Exit = ExitOk;
+  auto P = load(Argv[2], Err, Exit);
+  if (!P)
+    return Exit;
+  ir::ClassHierarchy CH(*P);
+
+  std::unique_ptr<pta::AllocTypeAbstraction> TypeHeap;
+  core::MahjongResult MR;
+  pta::AnalysisOptions Opts;
+  Opts.Kind = Kind;
+  Opts.K = K;
+  Opts.TimeBudgetSeconds = Budget;
+  if (HeapKind == "mahjong") {
+    MR = core::buildMahjongHeap(*P, CH);
+    Opts.Heap = MR.Heap.get();
+    Out << "mahjong heap: " << MR.numAllocSiteObjects() << " sites -> "
+        << MR.numMahjongObjects() << " objects (pre " << std::fixed
+        << std::setprecision(2)
+        << MR.PreSeconds + MR.FPGSeconds + MR.MahjongSeconds << "s)\n";
+  } else if (HeapKind == "type") {
+    TypeHeap = std::make_unique<pta::AllocTypeAbstraction>(*P);
+    Opts.Heap = TypeHeap.get();
+  } else if (HeapKind != "site") {
+    Err << "error: flag '--heap' got unknown heap '" << HeapKind << "'\n";
+    return ExitUsage;
+  }
+
+  auto R = pta::runPointerAnalysis(*P, CH, Opts);
+  if (R->Stats.TimedOut) {
+    Err << Analysis << ": exceeded the " << std::fixed
+        << std::setprecision(0) << Budget << "s budget (unscalable)\n";
+    return ExitAnalysisError;
+  }
+  clients::ClientResults CR = clients::evaluateClients(*R);
+  Out << Analysis << " (" << HeapKind << " heap): " << std::fixed
+      << std::setprecision(2) << R->Stats.Seconds << "s\n";
+  Out << "  reachable methods:  " << CR.ReachableMethods << "\n";
+  Out << "  call graph edges:   " << CR.CallGraphEdges << "\n";
+  Out << "  poly call sites:    " << CR.PolyCallSites
+      << " (mono: " << CR.MonoCallSites << ")\n";
+  Out << "  may-fail casts:     " << CR.MayFailCasts << " / " << CR.TotalCasts
+      << "\n";
+  if (!FactsDir.empty()) {
+    if (!pta::writeAllFacts(*R, FactsDir)) {
+      Err << "error: cannot write facts into '" << FactsDir << "'\n";
+      return ExitIOError;
+    }
+    Out << "facts written to " << FactsDir << "/*.facts\n";
+  }
+  if (!SnapPath.empty()) {
+    std::string SaveErr;
+    if (!serve::saveSnapshot(*R, SnapPath, SaveErr)) {
+      Err << "error: " << SaveErr << "\n";
+      return ExitIOError;
+    }
+    Out << "snapshot written to " << SnapPath << "\n";
+  }
+  return ExitOk;
+}
+
+int cmdQuery(int Argc, const char *const *Argv, std::ostream &Out,
+             std::ostream &Err) {
+  if (Argc < 4)
+    return usage(Err);
+  int Exit = ExitOk;
+  auto D = loadSnap(Argv[2], Err, Exit);
+  if (!D)
+    return Exit;
+  std::string Text;
+  for (int I = 3; I < Argc; ++I) {
+    if (I > 3)
+      Text += ' ';
+    Text += Argv[I];
+  }
+  serve::QueryEngine Engine(D);
+  serve::QueryResult R = Engine.run(Text);
+  if (!R.Ok) {
+    Err << "error: " << R.Error << "\n";
+    return ExitParseError;
+  }
+  if (R.HasVerdict) {
+    Out << (R.Verdict ? "true" : "false") << "\n";
+  } else {
+    Out << R.Items.size() << " result(s)\n";
+    for (const std::string &Item : R.Items)
+      Out << "  " << Item << "\n";
+  }
+  return ExitOk;
+}
+
+int cmdServeBench(int Argc, const char *const *Argv, std::ostream &Out,
+                  std::ostream &Err) {
+  if (Argc < 3)
+    return usage(Err);
+  std::string SpecPath;
+  bool Smoke = false;
+  FlagParser Flags(Argc, Argv, 3, Err);
+  while (!Flags.done()) {
+    if (Flags.take("--spec", SpecPath))
+      continue;
+    if (Flags.takeBare("--smoke")) {
+      Smoke = true;
+      continue;
+    }
+    return Flags.malformed() ? ExitUsage : Flags.unknown();
+  }
+  serve::QueryWorkload W;
+  if (!SpecPath.empty()) {
+    std::ifstream In(SpecPath);
+    if (!In) {
+      Err << "error: cannot open '" << SpecPath << "'\n";
+      return ExitIOError;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string SpecErr;
+    if (!serve::parseWorkloadSpec(Buf.str(), W, SpecErr)) {
+      Err << SpecPath << ": " << SpecErr << "\n";
+      return ExitParseError;
+    }
+  }
+  if (Smoke) {
+    // The CI smoke contract: tiny, fast, and still concurrent.
+    W.Clients = 2;
+    W.QueriesPerClient = 250;
+    W.DurationSeconds = 0;
+    W.Workers = 2;
+  }
+  int Exit = ExitOk;
+  auto D = loadSnap(Argv[2], Err, Exit);
+  if (!D)
+    return Exit;
+  serve::QueryEngine Engine(D);
+  serve::TrafficReport Rep = serve::runTraffic(Engine, W);
+  Out << Rep.toJson() << "\n";
+  if (Rep.Queries == 0 || Rep.Failed != 0) {
+    Err << "error: serve-bench answered " << Rep.Queries << " queries with "
+        << Rep.Failed << " failures\n";
+    return ExitAnalysisError;
+  }
+  return ExitOk;
+}
+
+int cmdMergeReport(int Argc, const char *const *Argv, std::ostream &Out,
+                   std::ostream &Err) {
+  if (Argc < 3)
+    return usage(Err);
+  int Exit = ExitOk;
+  auto P = load(Argv[2], Err, Exit);
+  if (!P)
+    return Exit;
+  ir::ClassHierarchy CH(*P);
+  core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
+  auto Classes = core::equivalenceClasses(*MR.FPG, MR.Modeling);
+  Out << MR.numAllocSiteObjects() << " sites -> " << Classes.size()
+      << " classes\n";
+  for (const auto &[Repr, Members] : Classes) {
+    if (Members.size() == 1)
+      continue;
+    Out << "  class of " << P->describeObj(Repr) << " (" << Members.size()
+        << " members):";
+    for (size_t I = 0; I < Members.size() && I < 8; ++I)
+      Out << " o" << Members[I].idx();
+    if (Members.size() > 8)
+      Out << " ...";
+    Out << "\n";
+  }
+  return ExitOk;
+}
+
+int cmdDot(int Argc, const char *const *Argv, const char *Which,
+           std::ostream &Out, std::ostream &Err) {
+  bool NeedsObj = std::strcmp(Which, "callgraph") != 0;
+  if (Argc < (NeedsObj ? 4 : 3))
+    return usage(Err);
+  int Exit = ExitOk;
+  auto P = load(Argv[2], Err, Exit);
+  if (!P)
+    return Exit;
+  ir::ClassHierarchy CH(*P);
+  pta::AnalysisOptions PreOpts;
+  auto Pre = pta::runPointerAnalysis(*P, CH, PreOpts);
+  if (!NeedsObj) {
+    Out << core::callGraphToDot(*Pre);
+    return ExitOk;
+  }
+  char *End = nullptr;
+  long Idx = std::strtol(Argv[3], &End, 10);
+  if (!End || *End != '\0' || Idx < 0) {
+    Err << "error: malformed object index '" << Argv[3] << "'\n";
+    return ExitUsage;
+  }
+  if (static_cast<uint32_t>(Idx) >= P->numObjs()) {
+    Err << "error: object index " << Idx << " out of range (0.."
+        << P->numObjs() - 1 << ")\n";
+    return ExitUsage;
+  }
+  core::FieldPointsToGraph G(*Pre);
+  if (std::strcmp(Which, "fpg") == 0) {
+    Out << core::fpgToDot(G, ObjId(static_cast<uint32_t>(Idx)));
+  } else {
+    core::DFACache Cache(G);
+    Out << core::dfaToDot(G, Cache, ObjId(static_cast<uint32_t>(Idx)));
+  }
+  return ExitOk;
+}
+
+} // namespace
+
+int mahjong::cli::runCli(int Argc, const char *const *Argv, std::ostream &Out,
+                         std::ostream &Err) {
+  if (Argc < 2)
+    return usage(Err);
+  const char *Cmd = Argv[1];
+  if (std::strcmp(Cmd, "analyze") == 0)
+    return cmdAnalyze(Argc, Argv, Out, Err);
+  if (std::strcmp(Cmd, "query") == 0)
+    return cmdQuery(Argc, Argv, Out, Err);
+  if (std::strcmp(Cmd, "serve-bench") == 0)
+    return cmdServeBench(Argc, Argv, Out, Err);
+  if (std::strcmp(Cmd, "merge-report") == 0)
+    return cmdMergeReport(Argc, Argv, Out, Err);
+  if (std::strcmp(Cmd, "dot-fpg") == 0)
+    return cmdDot(Argc, Argv, "fpg", Out, Err);
+  if (std::strcmp(Cmd, "dot-dfa") == 0)
+    return cmdDot(Argc, Argv, "dfa", Out, Err);
+  if (std::strcmp(Cmd, "dot-callgraph") == 0)
+    return cmdDot(Argc, Argv, "callgraph", Out, Err);
+  Err << "error: unknown command '" << Cmd << "'\n";
+  usage(Err);
+  return ExitUsage;
+}

@@ -1,0 +1,45 @@
+//===-- cli/Driver.h - Testable command-line driver -----------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole mahjong-cli command surface as a library function, so the
+/// test suite can drive every command and assert on exit codes and output
+/// without spawning processes. tools/mahjong-cli.cpp is a two-line main()
+/// over runCli().
+///
+/// Exit code contract (stable, scripts may rely on it):
+///   0  success
+///   1  I/O error (unreadable input, unwritable output)
+///   2  usage error (unknown command, unknown/malformed flag, bad arity)
+///   3  parse error (.mj source, .mjsnap decode, query text, workload spec)
+///   4  analysis error (e.g. the time budget was exceeded)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_CLI_DRIVER_H
+#define MAHJONG_CLI_DRIVER_H
+
+#include <ostream>
+
+namespace mahjong::cli {
+
+enum ExitCode : int {
+  ExitOk = 0,
+  ExitIOError = 1,
+  ExitUsage = 2,
+  ExitParseError = 3,
+  ExitAnalysisError = 4,
+};
+
+/// Runs one CLI invocation. \p Argv follows main() conventions
+/// (Argv[0] is the program name). Normal output goes to \p Out,
+/// diagnostics to \p Err.
+int runCli(int Argc, const char *const *Argv, std::ostream &Out,
+           std::ostream &Err);
+
+} // namespace mahjong::cli
+
+#endif // MAHJONG_CLI_DRIVER_H

@@ -47,19 +47,23 @@ void mahjong::pta::writeInstanceFieldPointsTo(const PTAResult &R,
 void mahjong::pta::writeStaticFieldPointsTo(const PTAResult &R,
                                             std::ostream &OS) {
   const Program &P = R.P;
+  // Node ids reflect solver discovery order, which varies with worklist
+  // scheduling; bucket rows by field so the dump is byte-stable.
+  std::map<uint32_t, std::set<uint32_t>> Rows;
   for (uint32_t I = 0; I < R.Nodes.size(); ++I) {
     uint64_t Key = R.Nodes.get(PtrNodeId(I));
     if (PTAResult::kindOf(Key) != PTAResult::KindStatic ||
         R.Pts[I].empty())
       continue;
-    FieldId F = PTAResult::staticFieldOf(Key);
-    std::set<uint32_t> Targets;
+    auto &Targets = Rows[PTAResult::staticFieldOf(Key).idx()];
     for (uint32_t Raw : R.Pts[I])
       Targets.insert(R.baseObjOf(Raw).idx());
-    for (uint32_t T : Targets)
-      OS << P.type(P.field(F).Declaring).Name << '\t' << P.field(F).Name
-         << '\t' << P.describeObj(ObjId(T)) << '\n';
   }
+  for (const auto &[FI, Targets] : Rows)
+    for (uint32_t T : Targets)
+      OS << P.type(P.field(FieldId(FI)).Declaring).Name << '\t'
+         << P.field(FieldId(FI)).Name << '\t' << P.describeObj(ObjId(T))
+         << '\n';
 }
 
 void mahjong::pta::writeCallGraphEdge(const PTAResult &R,

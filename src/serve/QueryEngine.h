@@ -1,0 +1,163 @@
+//===-- serve/QueryEngine.h - Concurrent points-to queries ----*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A serving session over one loaded snapshot: parse typed queries,
+/// answer them from the immutable SnapshotData, and cache answers in a
+/// bounded, LRU-evicting table whose *read path takes no locks* — safe
+/// for any number of concurrent callers.
+///
+/// Query grammar (one query per line; see docs/serving.md):
+///
+///   query  := "points-to" var          — objects a variable may point to
+///           | "alias" var var          — may the two variables alias?
+///           | "devirt" NUM             — callee methods of call site NUM
+///           | "cast-may-fail" NUM      — may cast site NUM fail?
+///           | "callers" method         — methods with a call edge into m
+///           | "callees" method         — methods m may call
+///   var    := method "::" NAME        e.g. Main.main/0::x
+///   method := signature               e.g. A.m/1
+///
+/// Concurrency contract: the snapshot is immutable after construction;
+/// cache hits are acquire-loads of published entries plus one relaxed
+/// LRU-clock store; only inserts (misses) take the internal write mutex.
+/// Evicted entries are unlinked but retired rather than freed, so a
+/// reader holding a stale pointer can never observe a dangling entry;
+/// retired memory is reclaimed when the engine is destroyed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SERVE_QUERYENGINE_H
+#define MAHJONG_SERVE_QUERYENGINE_H
+
+#include "serve/Snapshot.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mahjong::serve {
+
+enum class QueryKind : uint8_t {
+  PointsTo,
+  Alias,
+  Devirt,
+  CastMayFail,
+  Callers,
+  Callees,
+};
+
+/// One parsed query. A and B are entity keys per the grammar above.
+struct Query {
+  QueryKind Kind = QueryKind::PointsTo;
+  std::string A;
+  std::string B; ///< second variable; alias only
+};
+
+/// Parses one textual query. \returns false with a diagnostic in \p Err.
+bool parseQuery(std::string_view Text, Query &Q, std::string &Err);
+
+/// The answer to one query.
+struct QueryResult {
+  bool Ok = false;
+  std::string Error;              ///< set when !Ok
+  std::vector<std::string> Items; ///< points-to / devirt / callers / callees
+  bool HasVerdict = false;        ///< alias / cast-may-fail carry a boolean
+  bool Verdict = false;
+
+  /// One-line rendering ("true", "false", or comma-joined items).
+  std::string toString() const;
+};
+
+/// Bounded concurrent query cache: open-addressed buckets of atomically
+/// published entries, approximate-LRU eviction via a global clock.
+class QueryCache {
+public:
+  /// \p Capacity is rounded up to a power of two bucket count.
+  explicit QueryCache(size_t Capacity);
+  ~QueryCache();
+
+  QueryCache(const QueryCache &) = delete;
+  QueryCache &operator=(const QueryCache &) = delete;
+
+  /// Lock-free lookup; null on miss. The returned pointer stays valid for
+  /// the cache's lifetime (entries are retired, never freed early).
+  const QueryResult *lookup(std::string_view Key) const;
+
+  /// Publishes \p Key -> \p R, evicting the least-recently-used entry of
+  /// the probe window when it is full. Idempotent under races.
+  void insert(std::string_view Key, QueryResult R);
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Entry;
+  static constexpr unsigned ProbeWindow = 8;
+
+  std::vector<std::atomic<Entry *>> Buckets;
+  uint64_t Mask;
+
+  std::mutex WriteMutex;
+  std::vector<std::unique_ptr<Entry>> Retired; ///< every entry ever made
+
+  mutable std::atomic<uint64_t> Clock{0};
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0};
+  std::atomic<uint64_t> Insertions{0}, Evictions{0};
+};
+
+/// A query session over one snapshot. Immutable after construction except
+/// for the internal cache; run() is safe to call from many threads.
+class QueryEngine {
+public:
+  explicit QueryEngine(std::shared_ptr<const SnapshotData> Data,
+                       size_t CacheCapacity = 1 << 14);
+
+  const SnapshotData &data() const { return *Data; }
+
+  /// Parse + cached evaluate. Parse failures are reported in the result
+  /// (never cached); well-formed queries are answered through the cache.
+  QueryResult run(std::string_view QueryText) const;
+
+  /// Evaluates \p Q with no cache involvement.
+  QueryResult evaluate(const Query &Q) const;
+
+  QueryCache::Stats cacheStats() const { return Cache.stats(); }
+
+private:
+  QueryResult pointsTo(const std::string &VarKey) const;
+  QueryResult alias(const std::string &KeyA, const std::string &KeyB) const;
+  QueryResult devirt(const std::string &SiteIdx) const;
+  QueryResult castMayFail(const std::string &CastIdx) const;
+  QueryResult callersOf(const std::string &Sig) const;
+  QueryResult calleesOf(const std::string &Sig) const;
+
+  bool lookupVar(const std::string &VarKey, uint32_t &V,
+                 std::string &Err) const;
+
+  std::shared_ptr<const SnapshotData> Data;
+  std::unordered_map<std::string, uint32_t> VarByKey;
+  std::unordered_map<std::string, uint32_t> MethodBySig;
+  /// Per method: sorted unique callee methods over its call sites, and
+  /// sorted unique caller methods — precomputed so the call-graph queries
+  /// are O(answer) at serving time.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> CalleesByMethod;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> CallersByMethod;
+  mutable QueryCache Cache;
+};
+
+} // namespace mahjong::serve
+
+#endif // MAHJONG_SERVE_QUERYENGINE_H

@@ -1,0 +1,77 @@
+//===-- serve/Server.cpp - Batching request broker ---------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include <vector>
+
+using namespace mahjong;
+using namespace mahjong::serve;
+
+QueryServer::QueryServer(const QueryEngine &Engine, unsigned Workers,
+                         unsigned MaxBatch)
+    : Engine(Engine), MaxBatch(MaxBatch == 0 ? 1 : MaxBatch),
+      Pool(Workers) {}
+
+QueryServer::~QueryServer() { drain(); }
+
+std::future<QueryResult> QueryServer::submit(std::string QueryText) {
+  Request Req;
+  Req.Text = std::move(QueryText);
+  std::future<QueryResult> Fut = Req.Done.get_future();
+  bool SpawnDrainer = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pending.push_back(std::move(Req));
+    // One drainer per pool worker at most: more would only contend on
+    // the queue; fewer leaves workers idle under load.
+    if (ActiveDrainers < Pool.numThreads()) {
+      ++ActiveDrainers;
+      SpawnDrainer = true;
+    }
+  }
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  if (SpawnDrainer)
+    Pool.enqueue([this] { pump(); });
+  return Fut;
+}
+
+void QueryServer::pump() {
+  std::vector<Request> Batch;
+  for (;;) {
+    Batch.clear();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      while (!Pending.empty() && Batch.size() < MaxBatch) {
+        Batch.push_back(std::move(Pending.front()));
+        Pending.pop_front();
+      }
+      if (Batch.empty()) {
+        --ActiveDrainers;
+        return;
+      }
+    }
+    Batches.fetch_add(1, std::memory_order_relaxed);
+    uint64_t Size = Batch.size();
+    uint64_t Prev = MaxObserved.load(std::memory_order_relaxed);
+    while (Size > Prev &&
+           !MaxObserved.compare_exchange_weak(Prev, Size,
+                                              std::memory_order_relaxed)) {
+    }
+    for (Request &Req : Batch)
+      Req.Done.set_value(Engine.run(Req.Text));
+  }
+}
+
+void QueryServer::drain() { Pool.wait(); }
+
+ServerStats QueryServer::stats() const {
+  ServerStats S;
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.Batches = Batches.load(std::memory_order_relaxed);
+  S.MaxBatchObserved = MaxObserved.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,88 @@
+//===-- serve/Server.h - Batching request broker --------------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving loop: a ThreadPool-backed broker that accepts textual
+/// queries from any number of client threads, coalesces them into batches
+/// and dispatches the batches onto pool workers, each answering through
+/// the shared QueryEngine. Batching amortizes queue synchronization: under
+/// load one lock acquisition drains up to MaxBatch requests, so the hot
+/// path per query is the engine's lock-free cache probe, not the queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SERVE_SERVER_H
+#define MAHJONG_SERVE_SERVER_H
+
+#include "serve/QueryEngine.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+
+namespace mahjong::serve {
+
+/// Broker statistics for one serving session.
+struct ServerStats {
+  uint64_t Requests = 0;
+  uint64_t Batches = 0;
+  uint64_t MaxBatchObserved = 0;
+};
+
+/// Accepts queries from concurrent producers, answers them on a worker
+/// pool. submit() never blocks on query evaluation; callers wait on the
+/// returned future.
+class QueryServer {
+public:
+  /// \p Workers = 0 means hardware concurrency. \p MaxBatch bounds how
+  /// many requests one worker drains per queue lock.
+  explicit QueryServer(const QueryEngine &Engine, unsigned Workers = 0,
+                       unsigned MaxBatch = 16);
+  ~QueryServer();
+
+  QueryServer(const QueryServer &) = delete;
+  QueryServer &operator=(const QueryServer &) = delete;
+
+  /// Enqueues one query; the future resolves when a worker answers it.
+  std::future<QueryResult> submit(std::string QueryText);
+
+  /// Blocks until every submitted request has been answered.
+  void drain();
+
+  ServerStats stats() const;
+
+  unsigned numWorkers() const { return Pool.numThreads(); }
+
+private:
+  struct Request {
+    std::string Text;
+    std::promise<QueryResult> Done;
+  };
+
+  void pump();
+
+  const QueryEngine &Engine;
+  unsigned MaxBatch;
+
+  std::mutex Mutex;
+  std::deque<Request> Pending;  ///< guarded by Mutex
+  unsigned ActiveDrainers = 0;  ///< guarded by Mutex
+
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Batches{0};
+  std::atomic<uint64_t> MaxObserved{0};
+
+  /// Declared last: workers reference the queue state above, so the pool
+  /// must be torn down (joining them) before anything else dies.
+  ThreadPool Pool;
+};
+
+} // namespace mahjong::serve
+
+#endif // MAHJONG_SERVE_SERVER_H

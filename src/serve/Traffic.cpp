@@ -1,0 +1,306 @@
+//===-- serve/Traffic.cpp - Workload spec and traffic driver -----------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Traffic.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+using namespace mahjong;
+using namespace mahjong::serve;
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool parseUnsigned(std::string_view V, uint64_t &Out) {
+  if (V.empty())
+    return false;
+  uint64_t R = 0;
+  for (char C : V) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    R = R * 10 + (C - '0');
+  }
+  Out = R;
+  return true;
+}
+
+bool parseDouble(std::string_view V, double &Out) {
+  std::string S(V);
+  char *End = nullptr;
+  Out = std::strtod(S.c_str(), &End);
+  return End && *End == '\0' && End != S.c_str() && Out >= 0;
+}
+
+} // namespace
+
+bool mahjong::serve::parseWorkloadSpec(std::string_view Text,
+                                       QueryWorkload &W, std::string &Err) {
+  std::istringstream In{std::string(Text)};
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string_view L = trim(Line);
+    if (auto Hash = L.find('#'); Hash != std::string_view::npos)
+      L = trim(L.substr(0, Hash));
+    if (L.empty())
+      continue;
+    auto Eq = L.find('=');
+    if (Eq == std::string_view::npos) {
+      Err = "spec line " + std::to_string(LineNo) + ": expected key = value";
+      return false;
+    }
+    std::string Key(trim(L.substr(0, Eq)));
+    std::string_view Value = trim(L.substr(Eq + 1));
+
+    auto Fail = [&](const char *Why) {
+      Err = "spec line " + std::to_string(LineNo) + ": " + Why + " for '" +
+            Key + "'";
+      return false;
+    };
+    uint64_t U;
+    double F;
+    if (Key == "clients") {
+      if (!parseUnsigned(Value, U) || U == 0)
+        return Fail("need a positive integer");
+      W.Clients = static_cast<unsigned>(U);
+    } else if (Key == "queries_per_client") {
+      if (!parseUnsigned(Value, U) || U == 0)
+        return Fail("need a positive integer");
+      W.QueriesPerClient = U;
+    } else if (Key == "duration_seconds") {
+      if (!parseDouble(Value, F))
+        return Fail("need a non-negative number");
+      W.DurationSeconds = F;
+    } else if (Key == "seed") {
+      if (!parseUnsigned(Value, U))
+        return Fail("need an integer");
+      W.Seed = U;
+    } else if (Key == "zipf_s") {
+      if (!parseDouble(Value, F))
+        return Fail("need a non-negative number");
+      W.ZipfS = F;
+    } else if (Key == "workers") {
+      if (!parseUnsigned(Value, U))
+        return Fail("need an integer");
+      W.Workers = static_cast<unsigned>(U);
+    } else if (Key == "max_batch") {
+      if (!parseUnsigned(Value, U) || U == 0)
+        return Fail("need a positive integer");
+      W.MaxBatch = static_cast<unsigned>(U);
+    } else if (Key.rfind("weight_", 0) == 0) {
+      if (!parseUnsigned(Value, U))
+        return Fail("need an integer");
+      unsigned V = static_cast<unsigned>(U);
+      if (Key == "weight_points_to")
+        W.WeightPointsTo = V;
+      else if (Key == "weight_alias")
+        W.WeightAlias = V;
+      else if (Key == "weight_devirt")
+        W.WeightDevirt = V;
+      else if (Key == "weight_cast_may_fail")
+        W.WeightCastMayFail = V;
+      else if (Key == "weight_callers")
+        W.WeightCallers = V;
+      else if (Key == "weight_callees")
+        W.WeightCallees = V;
+      else {
+        Err = "spec line " + std::to_string(LineNo) + ": unknown key '" +
+              Key + "'";
+        return false;
+      }
+    } else {
+      Err = "spec line " + std::to_string(LineNo) + ": unknown key '" + Key +
+            "'";
+      return false;
+    }
+  }
+  if (W.WeightPointsTo + W.WeightAlias + W.WeightDevirt +
+          W.WeightCastMayFail + W.WeightCallers + W.WeightCallees ==
+      0) {
+    Err = "all query-mix weights are zero";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Query generation
+//===----------------------------------------------------------------------===//
+
+QueryGenerator::QueryGenerator(const SnapshotData &D, const QueryWorkload &W,
+                               unsigned Client)
+    : D(D), W(W), RngState(splitmix64(W.Seed) ^ splitmix64(Client + 1)) {
+  TotalWeight = W.WeightPointsTo + W.WeightAlias + W.WeightDevirt +
+                W.WeightCastMayFail + W.WeightCallers + W.WeightCallees;
+  if (W.ZipfS > 0) {
+    // Unnormalized cumulative Zipf weights up to the largest key pool;
+    // sampling over a smaller pool of size N uses the prefix [0, N).
+    size_t MaxPool = std::max({D.Vars.size(), D.Sites.size(),
+                               D.Casts.size(), D.Methods.size()});
+    ZipfCdf.reserve(MaxPool);
+    double Sum = 0;
+    for (size_t I = 0; I < MaxPool; ++I) {
+      Sum += 1.0 / std::pow(static_cast<double>(I + 1), W.ZipfS);
+      ZipfCdf.push_back(Sum);
+    }
+  }
+}
+
+uint64_t QueryGenerator::nextRand() {
+  RngState = splitmix64(RngState);
+  return RngState;
+}
+
+size_t QueryGenerator::pickRank(size_t N) {
+  if (N == 0)
+    return 0;
+  uint64_t R = nextRand();
+  if (ZipfCdf.empty())
+    return R % N;
+  double U = (R >> 11) * (1.0 / 9007199254740992.0) * ZipfCdf[N - 1];
+  auto It = std::upper_bound(ZipfCdf.begin(), ZipfCdf.begin() + N, U);
+  return std::min<size_t>(It - ZipfCdf.begin(), N - 1);
+}
+
+std::string QueryGenerator::next() {
+  unsigned Pick = static_cast<unsigned>(nextRand() % TotalWeight);
+  auto VarKey = [this] { return D.varKey(pickRank(D.Vars.size())); };
+  // Fall through the mix in declaration order; kinds whose key pool is
+  // empty degrade to points-to so the stream never stalls.
+  if (Pick < W.WeightPointsTo || D.Vars.empty())
+    return "points-to " + VarKey();
+  Pick -= W.WeightPointsTo;
+  if (Pick < W.WeightAlias)
+    return "alias " + VarKey() + " " + VarKey();
+  Pick -= W.WeightAlias;
+  if (Pick < W.WeightDevirt) {
+    if (D.Sites.empty())
+      return "points-to " + VarKey();
+    return "devirt " + std::to_string(pickRank(D.Sites.size()));
+  }
+  Pick -= W.WeightDevirt;
+  if (Pick < W.WeightCastMayFail) {
+    if (D.Casts.empty())
+      return "points-to " + VarKey();
+    return "cast-may-fail " + std::to_string(pickRank(D.Casts.size()));
+  }
+  Pick -= W.WeightCastMayFail;
+  const std::string &Sig =
+      D.Methods[pickRank(D.Methods.size())].Signature;
+  if (Pick < W.WeightCallers)
+    return "callers " + Sig;
+  return "callees " + Sig;
+}
+
+//===----------------------------------------------------------------------===//
+// Traffic replay
+//===----------------------------------------------------------------------===//
+
+std::string TrafficReport::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"queries\": " << Queries << ", \"failed\": " << Failed
+     << ", \"seconds\": " << Seconds << ", \"qps\": " << QPS
+     << ", \"p50_us\": " << P50Micros << ", \"p95_us\": " << P95Micros
+     << ", \"p99_us\": " << P99Micros << ", \"cache_hits\": " << Cache.Hits
+     << ", \"cache_misses\": " << Cache.Misses
+     << ", \"cache_evictions\": " << Cache.Evictions
+     << ", \"batches\": " << Server.Batches
+     << ", \"max_batch\": " << Server.MaxBatchObserved << "}";
+  return OS.str();
+}
+
+TrafficReport mahjong::serve::runTraffic(const QueryEngine &Engine,
+                                         const QueryWorkload &W) {
+  using Clock = std::chrono::steady_clock;
+  QueryServer Server(Engine, W.Workers, W.MaxBatch);
+
+  struct ClientLog {
+    std::vector<uint64_t> LatenciesNs;
+    uint64_t Failed = 0;
+  };
+  std::vector<ClientLog> Logs(W.Clients);
+  std::vector<std::thread> Clients;
+  Clients.reserve(W.Clients);
+
+  Clock::time_point Start = Clock::now();
+  Clock::time_point Deadline =
+      W.DurationSeconds > 0
+          ? Start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(W.DurationSeconds))
+          : Clock::time_point::max();
+
+  for (unsigned C = 0; C < W.Clients; ++C) {
+    Clients.emplace_back([&, C] {
+      QueryGenerator Gen(Engine.data(), W, C);
+      ClientLog &Log = Logs[C];
+      if (W.DurationSeconds <= 0)
+        Log.LatenciesNs.reserve(W.QueriesPerClient);
+      for (uint64_t I = 0;; ++I) {
+        if (W.DurationSeconds > 0) {
+          if (Clock::now() >= Deadline)
+            break;
+        } else if (I >= W.QueriesPerClient) {
+          break;
+        }
+        Clock::time_point T0 = Clock::now();
+        QueryResult R = Server.submit(Gen.next()).get();
+        Clock::time_point T1 = Clock::now();
+        Log.LatenciesNs.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                .count());
+        Log.Failed += !R.Ok;
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  double Seconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  std::vector<uint64_t> All;
+  TrafficReport Rep;
+  for (const ClientLog &Log : Logs) {
+    All.insert(All.end(), Log.LatenciesNs.begin(), Log.LatenciesNs.end());
+    Rep.Failed += Log.Failed;
+  }
+  std::sort(All.begin(), All.end());
+  Rep.Queries = All.size();
+  Rep.Seconds = Seconds;
+  Rep.QPS = Seconds > 0 ? Rep.Queries / Seconds : 0;
+  auto Pct = [&All](double Q) -> double {
+    if (All.empty())
+      return 0;
+    size_t Idx = std::min(All.size() - 1,
+                          static_cast<size_t>(Q * All.size()));
+    return All[Idx] / 1000.0;
+  };
+  Rep.P50Micros = Pct(0.50);
+  Rep.P95Micros = Pct(0.95);
+  Rep.P99Micros = Pct(0.99);
+  Rep.Cache = Engine.cacheStats();
+  Rep.Server = Server.stats();
+  return Rep;
+}

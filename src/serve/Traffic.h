@@ -1,0 +1,111 @@
+//===-- serve/Traffic.h - Workload spec and traffic driver ----*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A genny-style declarative traffic model for the query engine: a
+/// QueryWorkload fixes the client count, per-client volume (or duration),
+/// query-mix ratios and key distribution, and the driver replays it with
+/// real client threads against a QueryServer, measuring per-request
+/// latency end to end (submit to future resolution) and reporting QPS
+/// with p50/p95/p99.
+///
+/// Spec files are "key = value" lines ('#' comments). Example:
+///
+///   clients = 8
+///   queries_per_client = 5000
+///   seed = 42
+///   zipf_s = 1.1          # 0 = uniform keys
+///   weight_points_to = 4
+///   weight_alias = 2
+///   weight_devirt = 1
+///   weight_cast_may_fail = 1
+///   weight_callers = 1
+///   weight_callees = 1
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SERVE_TRAFFIC_H
+#define MAHJONG_SERVE_TRAFFIC_H
+
+#include "serve/QueryEngine.h"
+#include "serve/Server.h"
+
+#include <string>
+#include <string_view>
+
+namespace mahjong::serve {
+
+/// Declarative description of one traffic run.
+struct QueryWorkload {
+  unsigned Clients = 4;
+  uint64_t QueriesPerClient = 1000;
+  /// When > 0, clients run for this long instead of a fixed count.
+  double DurationSeconds = 0;
+  uint64_t Seed = 1;
+  /// Zipf skew of key ranks (s parameter); 0 selects uniform keys.
+  double ZipfS = 0;
+  unsigned Workers = 0;  ///< broker workers; 0 = hardware concurrency
+  unsigned MaxBatch = 16;
+  /// Relative frequencies of the query kinds.
+  unsigned WeightPointsTo = 4;
+  unsigned WeightAlias = 2;
+  unsigned WeightDevirt = 1;
+  unsigned WeightCastMayFail = 1;
+  unsigned WeightCallers = 1;
+  unsigned WeightCallees = 1;
+};
+
+/// Parses a spec file body. Unknown keys and malformed lines are errors.
+bool parseWorkloadSpec(std::string_view Text, QueryWorkload &W,
+                       std::string &Err);
+
+/// What one traffic replay measured.
+struct TrafficReport {
+  uint64_t Queries = 0;
+  uint64_t Failed = 0; ///< answers with Ok == false
+  double Seconds = 0;
+  double QPS = 0;
+  double P50Micros = 0;
+  double P95Micros = 0;
+  double P99Micros = 0;
+  QueryCache::Stats Cache;
+  ServerStats Server;
+
+  /// One JSON object, stable key order, for scripts and CI assertions.
+  std::string toJson() const;
+};
+
+/// Deterministic query-text generator over a snapshot: kind by mix
+/// weights, keys by the configured rank distribution. Each client owns
+/// one generator seeded by (workload seed, client index).
+class QueryGenerator {
+public:
+  QueryGenerator(const SnapshotData &D, const QueryWorkload &W,
+                 unsigned Client);
+
+  /// Produces the next query text. Never fails: kinds without any valid
+  /// key in the snapshot fall back to points-to.
+  std::string next();
+
+private:
+  uint64_t nextRand();
+  /// Rank in [0, N) — uniform or Zipf depending on the workload.
+  size_t pickRank(size_t N);
+
+  const SnapshotData &D;
+  const QueryWorkload &W;
+  uint64_t RngState;
+  unsigned TotalWeight;
+  std::vector<double> ZipfCdf; ///< lazily sized per key-pool maximum
+};
+
+/// Replays \p W against \p Engine through a QueryServer. Spawns
+/// W.Clients threads, each a closed loop (generate, submit, wait).
+TrafficReport runTraffic(const QueryEngine &Engine, const QueryWorkload &W);
+
+} // namespace mahjong::serve
+
+#endif // MAHJONG_SERVE_TRAFFIC_H

@@ -1,0 +1,67 @@
+//===-- support/Hashing.h - Byte-stream and key hashing -------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic hashes shared by the snapshot format and the query
+/// engine: a streaming FNV-1a 64-bit digest (the .mjsnap payload checksum)
+/// and splitmix64 for mixing fixed-width keys. Both are stable across
+/// platforms and runs, which is what a persisted, checksummed format needs
+/// — std::hash guarantees neither.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_HASHING_H
+#define MAHJONG_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mahjong {
+
+/// Streaming FNV-1a over bytes; feed any number of chunks, then read
+/// digest(). Default-constructed state is the standard offset basis.
+class Fnv1a64 {
+public:
+  void update(const void *Data, size_t Len) {
+    const auto *Bytes = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      State ^= Bytes[I];
+      State *= 1099511628211ull;
+    }
+  }
+  void update(std::string_view S) { update(S.data(), S.size()); }
+
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State = 1469598103934665603ull;
+};
+
+/// One-shot FNV-1a of a byte range.
+inline uint64_t fnv1a64(const void *Data, size_t Len) {
+  Fnv1a64 H;
+  H.update(Data, Len);
+  return H.digest();
+}
+
+inline uint64_t fnv1a64(std::string_view S) {
+  return fnv1a64(S.data(), S.size());
+}
+
+/// splitmix64 finalizer: a cheap, well-distributed mix of a 64-bit key.
+/// Also the standard way to seed/step small deterministic RNGs (the
+/// traffic driver gives every simulated client splitmix64(seed, client)).
+inline uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_HASHING_H

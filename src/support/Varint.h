@@ -1,0 +1,110 @@
+//===-- support/Varint.h - LEB128 byte-buffer codec -----------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unsigned LEB128 varints over a std::string byte buffer, plus a
+/// bounds-checked cursor for decoding. This is the primitive layer of the
+/// .mjsnap snapshot format: ids are small after dense interning and
+/// points-to sets are stored as deltas of sorted ids, so the overwhelming
+/// majority of values fit in one byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_VARINT_H
+#define MAHJONG_SUPPORT_VARINT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mahjong {
+
+/// Appends \p Value to \p Buf as unsigned LEB128 (1..10 bytes).
+inline void putVarint(std::string &Buf, uint64_t Value) {
+  while (Value >= 0x80) {
+    Buf.push_back(static_cast<char>((Value & 0x7f) | 0x80));
+    Value >>= 7;
+  }
+  Buf.push_back(static_cast<char>(Value));
+}
+
+/// Appends a length-prefixed string.
+inline void putString(std::string &Buf, std::string_view S) {
+  putVarint(Buf, S.size());
+  Buf.append(S.data(), S.size());
+}
+
+/// Bounds-checked forward cursor over an encoded buffer. Every read
+/// reports failure instead of running past the end, so a truncated or
+/// corrupted snapshot degrades into a clean load error, never UB.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Data) : Data(Data) {}
+
+  bool atEnd() const { return Pos >= Data.size(); }
+  size_t pos() const { return Pos; }
+  bool ok() const { return !Failed; }
+
+  /// Reads one varint into \p Out; on failure returns false and poisons
+  /// the reader (all subsequent reads fail too).
+  bool readVarint(uint64_t &Out) {
+    uint64_t Value = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Data.size())
+        return fail();
+      uint8_t Byte = static_cast<uint8_t>(Data[Pos++]);
+      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80)) {
+        Out = Value;
+        return true;
+      }
+    }
+    return fail(); // > 10 bytes: malformed
+  }
+
+  /// Reads a varint that must fit 32 bits.
+  bool readU32(uint32_t &Out) {
+    uint64_t V;
+    if (!readVarint(V) || V > 0xFFFFFFFFull)
+      return fail();
+    Out = static_cast<uint32_t>(V);
+    return true;
+  }
+
+  /// Reads a length-prefixed string.
+  bool readString(std::string &Out) {
+    uint64_t Len;
+    if (!readVarint(Len) || Len > Data.size() - Pos)
+      return fail();
+    Out.assign(Data.data() + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  /// Returns a view of the next \p Len raw bytes and skips them.
+  bool readBytes(size_t Len, std::string_view &Out) {
+    if (Len > Data.size() - Pos)
+      return fail();
+    Out = Data.substr(Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+private:
+  bool fail() {
+    Failed = true;
+    Pos = Data.size();
+    return false;
+  }
+
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_VARINT_H

@@ -1,0 +1,214 @@
+//===-- tests/cli/CliSmokeTest.cpp -------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The CLI exit-code contract, driven in-process through cli::runCli:
+//
+//   0  success                (analyze / query / serve-bench happy paths)
+//   1  I/O error              (missing input files)
+//   2  usage error            (unknown command/flag, malformed flag value)
+//   3  parse error            (.mj source, snapshot bytes, query, spec)
+//   4  analysis error         (time budget exceeded)
+//
+// Usage diagnostics must name the offending flag or command.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cli/Driver.h"
+
+#include "ir/PrettyPrinter.h"
+#include "workload/BenchmarkPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mahjong;
+
+namespace {
+
+struct CliRun {
+  int Exit;
+  std::string Out;
+  std::string Err;
+};
+
+CliRun run(std::vector<std::string> Args) {
+  std::vector<const char *> Argv{"mahjong-cli"};
+  for (const std::string &A : Args)
+    Argv.push_back(A.c_str());
+  std::ostringstream Out, Err;
+  int Exit = cli::runCli(static_cast<int>(Argv.size()), Argv.data(), Out,
+                         Err);
+  return {Exit, Out.str(), Err.str()};
+}
+
+std::string writeFile(const std::string &Name, std::string_view Body) {
+  std::string Path = testing::TempDir() + "/" + Name;
+  std::ofstream(Path) << Body;
+  return Path;
+}
+
+constexpr std::string_view FixtureSrc = R"(
+  class A { method m(p) { return p; } }
+  class B extends A { method m(p) { return this; } }
+  class Main {
+    static method main() {
+      a = new A;
+      b = new B;
+      x = a;
+      x = b;
+      r = x.m(b);
+      c = (B) x;
+    }
+  }
+)";
+
+} // namespace
+
+TEST(CliSmoke, NoArgumentsIsUsage) {
+  CliRun R = run({});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownCommandNamesTheCommand) {
+  CliRun R = run({"frobnicate"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("unknown command 'frobnicate'"), std::string::npos)
+      << R.Err;
+}
+
+TEST(CliSmoke, UnknownFlagNamesTheFlag) {
+  std::string Mj = writeFile("ok.mj", FixtureSrc);
+  CliRun R = run({"analyze", Mj, "--frobnicate", "3"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("unknown option '--frobnicate'"), std::string::npos)
+      << R.Err;
+}
+
+TEST(CliSmoke, FlagMissingValueNamesTheFlag) {
+  std::string Mj = writeFile("ok.mj", FixtureSrc);
+  CliRun R = run({"analyze", Mj, "--analysis"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("flag '--analysis' requires a value"),
+            std::string::npos)
+      << R.Err;
+}
+
+TEST(CliSmoke, BadFlagValuesAreUsageErrors) {
+  std::string Mj = writeFile("ok.mj", FixtureSrc);
+  CliRun R = run({"analyze", Mj, "--analysis", "11obj"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("--analysis"), std::string::npos) << R.Err;
+
+  R = run({"analyze", Mj, "--heap", "lava"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("--heap"), std::string::npos) << R.Err;
+
+  R = run({"analyze", Mj, "--budget", "-3"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("--budget"), std::string::npos) << R.Err;
+
+  R = run({"dot-fpg", Mj, "notanumber"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+}
+
+TEST(CliSmoke, MissingInputsAreIOErrors) {
+  EXPECT_EQ(run({"analyze", "/nonexistent/x.mj"}).Exit, cli::ExitIOError);
+  EXPECT_EQ(run({"query", "/nonexistent/x.mjsnap", "devirt", "0"}).Exit,
+            cli::ExitIOError);
+  EXPECT_EQ(run({"serve-bench", "/nonexistent/x.mjsnap", "--smoke"}).Exit,
+            cli::ExitIOError);
+}
+
+TEST(CliSmoke, SourceParseErrorIsExit3) {
+  std::string Bad = writeFile("bad.mj", "class { oops");
+  CliRun R = run({"analyze", Bad});
+  EXPECT_EQ(R.Exit, cli::ExitParseError);
+  EXPECT_NE(R.Err.find("parse error"), std::string::npos) << R.Err;
+}
+
+TEST(CliSmoke, CorruptSnapshotIsExit3) {
+  std::string Bad = writeFile("bad.mjsnap", "these are not snapshot bytes");
+  CliRun R = run({"query", Bad, "devirt", "0"});
+  EXPECT_EQ(R.Exit, cli::ExitParseError);
+}
+
+TEST(CliSmoke, AnalyzeSaveThenQueryHappyPath) {
+  std::string Mj = writeFile("fixture.mj", FixtureSrc);
+  std::string Snap = testing::TempDir() + "/fixture.mjsnap";
+
+  CliRun R = run({"analyze", Mj, "--analysis", "ci", "--heap", "site",
+                  "--save-snapshot", Snap});
+  ASSERT_EQ(R.Exit, cli::ExitOk) << R.Err;
+  EXPECT_NE(R.Out.find("snapshot written to"), std::string::npos) << R.Out;
+
+  R = run({"query", Snap, "points-to", "Main.main/0::x"});
+  ASSERT_EQ(R.Exit, cli::ExitOk) << R.Err;
+  EXPECT_NE(R.Out.find("2 result(s)"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("o1<A>@Main.main/0"), std::string::npos) << R.Out;
+
+  R = run({"query", Snap, "cast-may-fail", "0"});
+  ASSERT_EQ(R.Exit, cli::ExitOk) << R.Err;
+  EXPECT_EQ(R.Out, "true\n");
+
+  // A well-formed command over a malformed query is a parse error.
+  R = run({"query", Snap, "points-to"});
+  EXPECT_EQ(R.Exit, cli::ExitParseError);
+  R = run({"query", Snap, "devirt", "notanumber"});
+  EXPECT_EQ(R.Exit, cli::ExitParseError);
+}
+
+TEST(CliSmoke, ServeBenchSmokeSucceeds) {
+  std::string Mj = writeFile("bench.mj", FixtureSrc);
+  std::string Snap = testing::TempDir() + "/bench.mjsnap";
+  ASSERT_EQ(run({"analyze", Mj, "--analysis", "ci", "--heap", "site",
+                 "--save-snapshot", Snap})
+                .Exit,
+            cli::ExitOk);
+
+  CliRun R = run({"serve-bench", Snap, "--smoke"});
+  ASSERT_EQ(R.Exit, cli::ExitOk) << R.Err;
+  EXPECT_NE(R.Out.find("\"failed\": 0"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"queries\": 500"), std::string::npos) << R.Out;
+}
+
+TEST(CliSmoke, ServeBenchSpecErrorsAreExit3) {
+  std::string Mj = writeFile("spec.mj", FixtureSrc);
+  std::string Snap = testing::TempDir() + "/spec.mjsnap";
+  ASSERT_EQ(run({"analyze", Mj, "--analysis", "ci", "--heap", "site",
+                 "--save-snapshot", Snap})
+                .Exit,
+            cli::ExitOk);
+
+  std::string BadSpec = writeFile("bad.spec", "clients = banana\n");
+  CliRun R = run({"serve-bench", Snap, "--spec", BadSpec});
+  EXPECT_EQ(R.Exit, cli::ExitParseError);
+  EXPECT_NE(R.Err.find("clients"), std::string::npos) << R.Err;
+
+  EXPECT_EQ(run({"serve-bench", Snap, "--spec", "/nonexistent.spec"}).Exit,
+            cli::ExitIOError);
+
+  std::string GoodSpec = writeFile(
+      "good.spec", "clients = 2\nqueries_per_client = 50\nworkers = 2\n");
+  R = run({"serve-bench", Snap, "--spec", GoodSpec});
+  ASSERT_EQ(R.Exit, cli::ExitOk) << R.Err;
+  EXPECT_NE(R.Out.find("\"queries\": 100"), std::string::npos) << R.Out;
+}
+
+TEST(CliSmoke, BudgetTimeoutIsExit4) {
+  // A mid-size profile under a context-sensitive analysis and a budget of
+  // (effectively) zero: the solver must give up at its first budget check.
+  auto P = workload::buildBenchmarkProgram("pmd", /*Scale=*/0.4);
+  std::string Mj = writeFile("pmd.mj", ir::printProgram(*P));
+  CliRun R = run({"analyze", Mj, "--analysis", "3obj", "--heap", "site",
+                  "--budget", "0.000001"});
+  EXPECT_EQ(R.Exit, cli::ExitAnalysisError) << R.Err;
+  EXPECT_NE(R.Err.find("budget"), std::string::npos) << R.Err;
+}

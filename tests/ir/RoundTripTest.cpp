@@ -13,6 +13,7 @@
 #include "ir/PrettyPrinter.h"
 
 #include "../TestUtil.h"
+#include "workload/BenchmarkPrograms.h"
 #include "workload/SyntheticBuilder.h"
 
 #include <gtest/gtest.h>
@@ -81,3 +82,21 @@ TEST_P(RoundTripWorkloadTest, SyntheticProgramsRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripWorkloadTest,
                          ::testing::Range(1u, 9u));
+
+/// Every benchmark profile round-trips too: the profiles exercise knob
+/// combinations (exceptions, arrays, static fields, deep wrappers) the
+/// plain seed sweep above does not.
+class RoundTripBenchmarkTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripBenchmarkTest, BenchmarkProfilesRoundTrip) {
+  auto P = workload::buildBenchmarkProgram(GetParam(), /*Scale=*/0.05);
+  expectRoundTrips(*P);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, RoundTripBenchmarkTest,
+    ::testing::ValuesIn(workload::benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });

@@ -1,0 +1,184 @@
+//===-- tests/serve/QueryEngineTest.cpp --------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Semantics of the six query kinds against a program whose ground truth
+// is known by hand, plus the parse/error surface and the cache observable
+// behavior (hits, eviction under a tiny capacity, correctness after
+// eviction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/QueryEngine.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::serve;
+using namespace mahjong::test;
+
+namespace {
+
+std::shared_ptr<const SnapshotData> snapshotOf(const pta::PTAResult &R) {
+  return std::make_shared<SnapshotData>(buildSnapshot(R));
+}
+
+/// The fixture program. Allocation order: o1 = new A, o2 = new B; x sees
+/// both, so the call through x is polymorphic and the (B) cast may fail.
+Analyzed fixture() {
+  return analyze(R"(
+    class A {
+      method m(p) { return p; }
+    }
+    class B extends A {
+      method m(p) { return this; }
+    }
+    class Main {
+      static method main() {
+        a = new A;
+        b = new B;
+        x = a;
+        x = b;
+        r = x.m(b);
+        c = (B) x;
+        d = (A) b;
+        n = null;
+      }
+    }
+  )");
+}
+
+} // namespace
+
+TEST(QueryEngine, PointsTo) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+  QueryResult R = E.run("points-to Main.main/0::x");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Items, (std::vector<std::string>{"o1<A>@Main.main/0",
+                                               "o2<B>@Main.main/0"}));
+
+  R = E.run("points-to Main.main/0::n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Items, (std::vector<std::string>{"o0<null>"}));
+}
+
+TEST(QueryEngine, Alias) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+
+  QueryResult R = E.run("alias Main.main/0::a Main.main/0::x");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.HasVerdict);
+  EXPECT_TRUE(R.Verdict);
+
+  R = E.run("alias Main.main/0::a Main.main/0::b");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Verdict);
+
+  // Sharing only o_null is not aliasing.
+  R = E.run("alias Main.main/0::n Main.main/0::n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Verdict);
+}
+
+TEST(QueryEngine, Devirt) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+  // Site 0 is r = x.m(b): x may hold an A or a B, so both overrides.
+  QueryResult R = E.run("devirt 0");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Items, (std::vector<std::string>{"A.m/1", "B.m/1"}));
+}
+
+TEST(QueryEngine, CastMayFail) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+  // Cast 0 is c = (B) x: x may hold the A object.
+  QueryResult R = E.run("cast-may-fail 0");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.HasVerdict);
+  EXPECT_TRUE(R.Verdict);
+  // Cast 1 is d = (A) b: an upcast, can never fail.
+  R = E.run("cast-may-fail 1");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Verdict);
+}
+
+TEST(QueryEngine, CallersCallees) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+  QueryResult R = E.run("callees Main.main/0");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Items, (std::vector<std::string>{"A.m/1", "B.m/1"}));
+
+  R = E.run("callers A.m/1");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Items, (std::vector<std::string>{"Main.main/0"}));
+
+  R = E.run("callers Main.main/0");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Items.empty());
+}
+
+TEST(QueryEngine, ErrorsAreReportedNotThrown) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+
+  // Malformed query text never enters the cache...
+  EXPECT_FALSE(E.run("").Ok);
+  EXPECT_FALSE(E.run("frobnicate x").Ok);
+  EXPECT_FALSE(E.run("points-to").Ok);
+  EXPECT_FALSE(E.run("alias Main.main/0::a").Ok);
+  EXPECT_EQ(E.cacheStats().Insertions, 0u);
+
+  // ...while well-formed queries over missing entities are deterministic
+  // answers and may be cached like any other.
+  EXPECT_FALSE(E.run("points-to NoSuch.method/0::v").Ok);
+  EXPECT_FALSE(E.run("devirt 99999").Ok);
+  EXPECT_FALSE(E.run("devirt notanumber").Ok);
+  EXPECT_FALSE(E.run("cast-may-fail -1").Ok);
+  EXPECT_FALSE(E.run("callers NoSuch.method/9").Ok);
+}
+
+TEST(QueryEngine, CacheHitsRepeatQueries) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+  QueryResult First = E.run("points-to Main.main/0::x");
+  QueryResult Second = E.run("points-to Main.main/0::x");
+  EXPECT_EQ(First.Items, Second.Items);
+  QueryCache::Stats S = E.cacheStats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_GE(S.Hits, 1u);
+}
+
+TEST(QueryEngine, CacheStaysCorrectUnderEviction) {
+  Analyzed A = fixture();
+  // A deliberately tiny cache so distinct queries fight for slots.
+  QueryEngine E(snapshotOf(*A.R), /*CacheCapacity=*/8);
+  const SnapshotData &D = E.data();
+  for (int Round = 0; Round < 3; ++Round) {
+    for (uint32_t V = 0; V < D.Vars.size(); ++V) {
+      QueryResult R = E.run("points-to " + D.varKey(V));
+      ASSERT_TRUE(R.Ok) << R.Error;
+      // Cached or freshly evaluated, the answer must match evaluate().
+      Query Q;
+      std::string Err;
+      ASSERT_TRUE(parseQuery("points-to " + D.varKey(V), Q, Err)) << Err;
+      EXPECT_EQ(R.Items, E.evaluate(Q).Items) << D.varKey(V);
+    }
+  }
+  EXPECT_GT(E.cacheStats().Evictions, 0u);
+}
+
+TEST(QueryEngine, ResultToString) {
+  Analyzed A = fixture();
+  QueryEngine E(snapshotOf(*A.R));
+  EXPECT_EQ(E.run("cast-may-fail 0").toString(), "true");
+  EXPECT_EQ(E.run("cast-may-fail 1").toString(), "false");
+  EXPECT_EQ(E.run("devirt 0").toString(), "[A.m/1, B.m/1]");
+}

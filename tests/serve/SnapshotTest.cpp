@@ -1,0 +1,206 @@
+//===-- tests/serve/SnapshotTest.cpp -----------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Format-level properties of the .mjsnap container: encode/decode
+// round-trips, checksum and truncation detection, version gating, and
+// forward-compatible skipping of unknown sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Snapshot.h"
+
+#include "../TestUtil.h"
+#include "support/Hashing.h"
+#include "support/Varint.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::serve;
+using namespace mahjong::test;
+
+namespace {
+
+constexpr size_t HeaderSize = 6 + 4 + 8 + 8;
+
+SnapshotData analyzedSnapshot() {
+  Analyzed A = analyze(R"(
+    class A {
+      method m(p) { return p; }
+    }
+    class B extends A {
+      method m(p) { return this; }
+    }
+    class Main {
+      static method main() {
+        a = new A;
+        b = new B;
+        x = a;
+        x = b;
+        r = x.m(b);
+        c = (B) x;
+      }
+    }
+  )");
+  return buildSnapshot(*A.R);
+}
+
+void putFixed32(std::string &Buf, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putFixed64(std::string &Buf, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// Reassembles a well-formed file around \p Payload (correct checksum
+/// and size), with \p Version in the header.
+std::string assemble(const std::string &Payload,
+                     uint32_t Version = SnapshotVersion) {
+  std::string Out = "MJSNAP";
+  putFixed32(Out, Version);
+  putFixed64(Out, fnv1a64(Payload));
+  putFixed64(Out, Payload.size());
+  return Out + Payload;
+}
+
+} // namespace
+
+TEST(Snapshot, EncodeDecodeRoundTrips) {
+  SnapshotData D = analyzedSnapshot();
+  std::string Bytes = encodeSnapshot(D);
+  std::string Err;
+  auto D2 = decodeSnapshot(Bytes, Err);
+  ASSERT_TRUE(D2) << Err;
+  EXPECT_EQ(D.AnalysisName, D2->AnalysisName);
+  EXPECT_EQ(D.HeapName, D2->HeapName);
+  ASSERT_EQ(D.Types.size(), D2->Types.size());
+  for (size_t I = 0; I < D.Types.size(); ++I) {
+    EXPECT_EQ(D.Types[I].Name, D2->Types[I].Name);
+    EXPECT_EQ(D.Types[I].Kind, D2->Types[I].Kind);
+    EXPECT_EQ(D.Types[I].Ancestors, D2->Types[I].Ancestors);
+  }
+  ASSERT_EQ(D.Vars.size(), D2->Vars.size());
+  for (size_t I = 0; I < D.Vars.size(); ++I) {
+    EXPECT_EQ(D.Vars[I].Name, D2->Vars[I].Name);
+    EXPECT_EQ(D.Vars[I].Method, D2->Vars[I].Method);
+    EXPECT_EQ(D.Vars[I].PtsSet, D2->Vars[I].PtsSet);
+  }
+  EXPECT_EQ(D.PtsSets, D2->PtsSets);
+  ASSERT_EQ(D.Sites.size(), D2->Sites.size());
+  for (size_t I = 0; I < D.Sites.size(); ++I)
+    EXPECT_EQ(D.Sites[I].Callees, D2->Sites[I].Callees);
+  ASSERT_EQ(D.Casts.size(), D2->Casts.size());
+  ASSERT_EQ(D.Objs.size(), D2->Objs.size());
+  for (size_t I = 0; I < D.Objs.size(); ++I) {
+    EXPECT_EQ(D.Objs[I].Type, D2->Objs[I].Type);
+    EXPECT_EQ(D.Objs[I].Method, D2->Objs[I].Method);
+  }
+  ASSERT_EQ(D.Methods.size(), D2->Methods.size());
+  for (size_t I = 0; I < D.Methods.size(); ++I) {
+    EXPECT_EQ(D.Methods[I].Signature, D2->Methods[I].Signature);
+    EXPECT_EQ(D.Methods[I].Reachable, D2->Methods[I].Reachable);
+  }
+}
+
+TEST(Snapshot, SaveLoadFileRoundTrips) {
+  Analyzed A = analyze(R"(
+    class Main { static method main() { x = new Main; } }
+  )");
+  std::string Path = testing::TempDir() + "/roundtrip.mjsnap";
+  std::string Err;
+  ASSERT_TRUE(saveSnapshot(*A.R, Path, Err)) << Err;
+  auto D = loadSnapshot(Path, Err);
+  ASSERT_TRUE(D) << Err;
+  EXPECT_EQ(D->Vars.size(), A.P->numVars());
+  EXPECT_EQ(D->Objs.size(), A.P->numObjs());
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot("NOTASNAPFILE....", Err), nullptr);
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+}
+
+TEST(Snapshot, RejectsCorruptedPayload) {
+  std::string Bytes = encodeSnapshot(analyzedSnapshot());
+  ASSERT_GT(Bytes.size(), HeaderSize + 10);
+  Bytes[HeaderSize + 5] ^= 0x40;
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(Bytes, Err), nullptr);
+  EXPECT_NE(Err.find("checksum"), std::string::npos) << Err;
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  std::string Bytes = encodeSnapshot(analyzedSnapshot());
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(Bytes.substr(0, Bytes.size() - 7), Err), nullptr);
+  EXPECT_NE(Err.find("size mismatch"), std::string::npos) << Err;
+  EXPECT_EQ(decodeSnapshot(Bytes.substr(0, 10), Err), nullptr);
+}
+
+TEST(Snapshot, GatesUnsupportedVersions) {
+  std::string Bytes = encodeSnapshot(analyzedSnapshot());
+  std::string Payload = Bytes.substr(HeaderSize);
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(assemble(Payload, SnapshotVersion + 1), Err),
+            nullptr);
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  if (SnapshotMinSupported > 0) {
+    EXPECT_EQ(decodeSnapshot(assemble(Payload, SnapshotMinSupported - 1),
+                             Err),
+              nullptr);
+    EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  }
+}
+
+TEST(Snapshot, SkipsUnknownSectionsForForwardCompat) {
+  std::string Bytes = encodeSnapshot(analyzedSnapshot());
+  std::string Payload = Bytes.substr(HeaderSize);
+  // A future writer appends a section this build knows nothing about.
+  Payload.push_back(static_cast<char>(0xEE));
+  putVarint(Payload, 5);
+  Payload += "hello";
+  std::string Err;
+  auto D = decodeSnapshot(assemble(Payload), Err);
+  ASSERT_TRUE(D) << Err;
+  EXPECT_FALSE(D->Vars.empty());
+}
+
+TEST(Snapshot, RejectsDanglingCrossReferences) {
+  SnapshotData D = analyzedSnapshot();
+  ASSERT_FALSE(D.Vars.empty());
+  D.Vars[0].Method = 1u << 20; // beyond the method table
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(encodeSnapshot(D), Err), nullptr);
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+}
+
+TEST(Snapshot, DedupSharesIdenticalSets) {
+  // Ten copies of the same variable produce one shared set entry.
+  Analyzed A = analyze(R"(
+    class Main {
+      static method main() {
+        a = new Main;
+        b = a; c = a; d = a; e = a; f = a; g = a; h = a; i = a; j = a;
+      }
+    }
+  )");
+  SnapshotData D = buildSnapshot(*A.R);
+  uint32_t SetOfA = 0;
+  unsigned Sharers = 0;
+  for (uint32_t V = 0; V < D.Vars.size(); ++V) {
+    if (D.Vars[V].Name == "a")
+      SetOfA = D.Vars[V].PtsSet;
+  }
+  for (uint32_t V = 0; V < D.Vars.size(); ++V)
+    Sharers += D.Vars[V].PtsSet == SetOfA;
+  EXPECT_GE(Sharers, 10u);
+  // And the dedup table is strictly smaller than the variable count.
+  EXPECT_LT(D.PtsSets.size(), D.Vars.size());
+}

@@ -4,248 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The command-line front door to the library, for users who want results
-// rather than an API:
-//
-//   mahjong-cli analyze <file.mj> [--analysis NAME] [--heap KIND]
-//                                 [--budget SECONDS] [--facts DIR]
-//       Runs a points-to analysis and prints client metrics; optionally
-//       dumps Doop-style .facts relations.
-//       NAME: ci, 2cs, 2obj, 3obj, 2type, 3type (default 2obj)
-//       KIND: site, type, mahjong                (default mahjong)
-//
-//   mahjong-cli merge-report <file.mj>
-//       Prints the MAHJONG equivalence classes of the program's heap.
-//
-//   mahjong-cli dot-fpg <file.mj> <objIndex>
-//   mahjong-cli dot-dfa <file.mj> <objIndex>
-//   mahjong-cli dot-callgraph <file.mj>
-//       Emit Graphviz on stdout (pipe into `dot -Tsvg`).
+// The command-line front door to the library. All command logic lives in
+// cli::runCli (src/cli/Driver.cpp) so the test suite can exercise every
+// command and exit code in-process; this file only binds it to the real
+// stdio streams.
 //
 //===----------------------------------------------------------------------===//
 
-#include "clients/Clients.h"
-#include "core/GraphExport.h"
-#include "core/Mahjong.h"
-#include "ir/Parser.h"
-#include "pta/FactsExport.h"
+#include "cli/Driver.h"
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
-
-using namespace mahjong;
-
-namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: mahjong-cli <command> <file.mj> [options]\n"
-      "commands:\n"
-      "  analyze <file.mj> [--analysis ci|2cs|2obj|3obj|2type|3type]\n"
-      "                    [--heap site|type|mahjong] [--budget SECONDS]\n"
-      "                    [--facts DIR]\n"
-      "  merge-report <file.mj>\n"
-      "  dot-fpg <file.mj> <objIndex>\n"
-      "  dot-dfa <file.mj> <objIndex>\n"
-      "  dot-callgraph <file.mj>\n");
-  return 2;
-}
-
-std::unique_ptr<ir::Program> load(const char *Path) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
-    return nullptr;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  std::string Err;
-  auto P = ir::parseProgram(Buf.str(), Err);
-  if (!P)
-    std::fprintf(stderr, "%s:%s: parse error\n", Path, Err.c_str());
-  return P;
-}
-
-bool parseAnalysis(const std::string &Name, pta::ContextKind &Kind,
-                   unsigned &K) {
-  if (Name == "ci") {
-    Kind = pta::ContextKind::Insensitive;
-    K = 0;
-    return true;
-  }
-  if (Name.size() == 3 && Name.substr(1) == "cs") {
-    Kind = pta::ContextKind::CallSite;
-    K = Name[0] - '0';
-    return K >= 1 && K <= 9;
-  }
-  if (Name.size() == 4 && Name.substr(1) == "obj") {
-    Kind = pta::ContextKind::Object;
-    K = Name[0] - '0';
-    return K >= 1 && K <= 9;
-  }
-  if (Name.size() == 5 && Name.substr(1) == "type") {
-    Kind = pta::ContextKind::Type;
-    K = Name[0] - '0';
-    return K >= 1 && K <= 9;
-  }
-  return false;
-}
-
-int cmdAnalyze(int Argc, char **Argv) {
-  if (Argc < 3)
-    return usage();
-  std::string Analysis = "2obj", HeapKind = "mahjong", FactsDir;
-  double Budget = 0;
-  for (int I = 3; I < Argc; ++I) {
-    auto Want = [&](const char *Flag) {
-      return std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc;
-    };
-    if (Want("--analysis"))
-      Analysis = Argv[++I];
-    else if (Want("--heap"))
-      HeapKind = Argv[++I];
-    else if (Want("--budget"))
-      Budget = std::atof(Argv[++I]);
-    else if (Want("--facts"))
-      FactsDir = Argv[++I];
-    else {
-      std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
-      return usage();
-    }
-  }
-  pta::ContextKind Kind;
-  unsigned K;
-  if (!parseAnalysis(Analysis, Kind, K)) {
-    std::fprintf(stderr, "unknown analysis '%s'\n", Analysis.c_str());
-    return 2;
-  }
-  auto P = load(Argv[2]);
-  if (!P)
-    return 1;
-  ir::ClassHierarchy CH(*P);
-
-  std::unique_ptr<pta::AllocTypeAbstraction> TypeHeap;
-  core::MahjongResult MR;
-  pta::AnalysisOptions Opts;
-  Opts.Kind = Kind;
-  Opts.K = K;
-  Opts.TimeBudgetSeconds = Budget;
-  if (HeapKind == "mahjong") {
-    MR = core::buildMahjongHeap(*P, CH);
-    Opts.Heap = MR.Heap.get();
-    std::printf("mahjong heap: %u sites -> %u objects (pre %.2fs)\n",
-                MR.numAllocSiteObjects(), MR.numMahjongObjects(),
-                MR.PreSeconds + MR.FPGSeconds + MR.MahjongSeconds);
-  } else if (HeapKind == "type") {
-    TypeHeap = std::make_unique<pta::AllocTypeAbstraction>(*P);
-    Opts.Heap = TypeHeap.get();
-  } else if (HeapKind != "site") {
-    std::fprintf(stderr, "unknown heap '%s'\n", HeapKind.c_str());
-    return 2;
-  }
-
-  auto R = pta::runPointerAnalysis(*P, CH, Opts);
-  if (R->Stats.TimedOut) {
-    std::printf("%s: exceeded the %.0fs budget (unscalable)\n",
-                Analysis.c_str(), Budget);
-    return 3;
-  }
-  clients::ClientResults CR = clients::evaluateClients(*R);
-  std::printf("%s (%s heap): %.2fs\n", Analysis.c_str(), HeapKind.c_str(),
-              R->Stats.Seconds);
-  std::printf("  reachable methods:  %llu\n",
-              (unsigned long long)CR.ReachableMethods);
-  std::printf("  call graph edges:   %llu\n",
-              (unsigned long long)CR.CallGraphEdges);
-  std::printf("  poly call sites:    %llu (mono: %llu)\n",
-              (unsigned long long)CR.PolyCallSites,
-              (unsigned long long)CR.MonoCallSites);
-  std::printf("  may-fail casts:     %llu / %llu\n",
-              (unsigned long long)CR.MayFailCasts,
-              (unsigned long long)CR.TotalCasts);
-  if (!FactsDir.empty()) {
-    if (!pta::writeAllFacts(*R, FactsDir)) {
-      std::fprintf(stderr, "error: cannot write facts into '%s'\n",
-                   FactsDir.c_str());
-      return 1;
-    }
-    std::printf("facts written to %s/*.facts\n", FactsDir.c_str());
-  }
-  return 0;
-}
-
-int cmdMergeReport(int Argc, char **Argv) {
-  if (Argc < 3)
-    return usage();
-  auto P = load(Argv[2]);
-  if (!P)
-    return 1;
-  ir::ClassHierarchy CH(*P);
-  core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
-  auto Classes = core::equivalenceClasses(*MR.FPG, MR.Modeling);
-  std::printf("%u sites -> %zu classes\n", MR.numAllocSiteObjects(),
-              Classes.size());
-  for (const auto &[Repr, Members] : Classes) {
-    if (Members.size() == 1)
-      continue;
-    std::printf("  class of %s (%zu members):", P->describeObj(Repr).c_str(),
-                Members.size());
-    for (size_t I = 0; I < Members.size() && I < 8; ++I)
-      std::printf(" o%u", Members[I].idx());
-    if (Members.size() > 8)
-      std::printf(" ...");
-    std::printf("\n");
-  }
-  return 0;
-}
-
-int cmdDot(int Argc, char **Argv, const char *Which) {
-  bool NeedsObj = std::strcmp(Which, "callgraph") != 0;
-  if (Argc < (NeedsObj ? 4 : 3))
-    return usage();
-  auto P = load(Argv[2]);
-  if (!P)
-    return 1;
-  ir::ClassHierarchy CH(*P);
-  pta::AnalysisOptions PreOpts;
-  auto Pre = pta::runPointerAnalysis(*P, CH, PreOpts);
-  if (!NeedsObj) {
-    std::fputs(core::callGraphToDot(*Pre).c_str(), stdout);
-    return 0;
-  }
-  unsigned Idx = std::atoi(Argv[3]);
-  if (Idx >= P->numObjs()) {
-    std::fprintf(stderr, "error: object index %u out of range (0..%u)\n",
-                 Idx, P->numObjs() - 1);
-    return 2;
-  }
-  core::FieldPointsToGraph G(*Pre);
-  if (std::strcmp(Which, "fpg") == 0) {
-    std::fputs(core::fpgToDot(G, ObjId(Idx)).c_str(), stdout);
-  } else {
-    core::DFACache Cache(G);
-    std::fputs(core::dfaToDot(G, Cache, ObjId(Idx)).c_str(), stdout);
-  }
-  return 0;
-}
-
-} // namespace
+#include <iostream>
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage();
-  if (std::strcmp(Argv[1], "analyze") == 0)
-    return cmdAnalyze(Argc, Argv);
-  if (std::strcmp(Argv[1], "merge-report") == 0)
-    return cmdMergeReport(Argc, Argv);
-  if (std::strcmp(Argv[1], "dot-fpg") == 0)
-    return cmdDot(Argc, Argv, "fpg");
-  if (std::strcmp(Argv[1], "dot-dfa") == 0)
-    return cmdDot(Argc, Argv, "dfa");
-  if (std::strcmp(Argv[1], "dot-callgraph") == 0)
-    return cmdDot(Argc, Argv, "callgraph");
-  return usage();
+  return mahjong::cli::runCli(Argc, Argv, std::cout, std::cerr);
 }
