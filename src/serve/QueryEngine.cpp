@@ -93,6 +93,10 @@ QueryCache::QueryCache(size_t Capacity) {
   size_t N = std::bit_ceil(std::max<size_t>(Capacity, 2 * ProbeWindow));
   Buckets = std::vector<std::atomic<Entry *>>(N);
   Mask = N - 1;
+  // Retired entries are the cache's total allocation footprint (live
+  // entries included); the cap bounds memory no matter how diverse the
+  // query stream is. 8x the bucket count leaves ample eviction turnover.
+  RetiredCap = 8 * N;
 }
 
 QueryCache::~QueryCache() = default;
@@ -138,6 +142,10 @@ void QueryCache::insert(std::string_view Key, QueryResult R) {
       VictimSlot = Slot;
     }
   }
+  // Retire budget exhausted: keep serving the published entries but stop
+  // allocating new ones — misses fall back to uncached evaluation.
+  if (Retired.size() >= RetiredCap)
+    return;
   auto E = std::make_unique<Entry>();
   E->Hash = H;
   E->Key = std::string(Key);
@@ -211,7 +219,11 @@ QueryResult QueryEngine::run(std::string_view QueryText) const {
   if (const QueryResult *Hit = Cache.lookup(Key))
     return *Hit;
   QueryResult R = evaluate(Q);
-  Cache.insert(Key, R);
+  // Only successful answers are worth a slot: unknown-entity errors have
+  // an unbounded key space an adversarial stream could fill the cache
+  // (and its retire store) with.
+  if (R.Ok)
+    Cache.insert(Key, R);
   return R;
 }
 

@@ -26,7 +26,11 @@
 /// LRU-clock store; only inserts (misses) take the internal write mutex.
 /// Evicted entries are unlinked but retired rather than freed, so a
 /// reader holding a stale pointer can never observe a dangling entry;
-/// retired memory is reclaimed when the engine is destroyed.
+/// retired memory is reclaimed when the engine is destroyed. The retire
+/// store is capped (a small multiple of the capacity): once spent, new
+/// results are served uncached instead of allocated, and error results
+/// (unknown entities — an unbounded key space) are never cached, so a
+/// long-running engine's memory stays bounded under any query stream.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -111,7 +115,11 @@ private:
   uint64_t Mask;
 
   std::mutex WriteMutex;
-  std::vector<std::unique_ptr<Entry>> Retired; ///< every entry ever made
+  /// Owns every entry ever made (live ones included). Bounded by
+  /// RetiredCap: once spent, inserts become no-ops and misses are served
+  /// uncached, so cache memory cannot grow without bound.
+  std::vector<std::unique_ptr<Entry>> Retired;
+  size_t RetiredCap;
 
   mutable std::atomic<uint64_t> Clock{0};
   mutable std::atomic<uint64_t> Hits{0}, Misses{0};
@@ -127,8 +135,9 @@ public:
 
   const SnapshotData &data() const { return *Data; }
 
-  /// Parse + cached evaluate. Parse failures are reported in the result
-  /// (never cached); well-formed queries are answered through the cache.
+  /// Parse + cached evaluate. Parse failures and unknown-entity errors
+  /// are reported in the result but never cached; only successful
+  /// answers are answered through (and inserted into) the cache.
   QueryResult run(std::string_view QueryText) const;
 
   /// Evaluates \p Q with no cache involvement.

@@ -76,7 +76,7 @@ void putDeltaList(std::string &Buf, const std::vector<uint32_t> &Ids) {
 bool readDeltaList(ByteReader &R, std::vector<uint32_t> &Out,
                    uint32_t Bound) {
   uint64_t N;
-  if (!R.readVarint(N) || N > Bound)
+  if (!R.readVarint(N) || N > Bound || N > R.remaining())
     return false;
   Out.clear();
   Out.reserve(N);
@@ -271,11 +271,19 @@ std::string mahjong::serve::encodeSnapshot(const SnapshotData &D) {
 
 namespace {
 
+/// Reads a table's entry count, rejecting counts that cannot possibly fit
+/// in the section's remaining bytes (every entry encodes to >= 1 byte).
+/// This bounds the table resize *before* any allocation, so a tiny file
+/// claiming 2^40 entries fails cleanly instead of raising bad_alloc.
+bool readCount(ByteReader &R, uint64_t &N) {
+  return R.readVarint(N) && N <= R.remaining();
+}
+
 /// Per-section decoders. Each returns false on malformed bytes; range
 /// checks that need other sections run after all sections are read.
 bool decodeTypes(ByteReader &R, SnapshotData &D) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Types.resize(N);
   for (SnapshotData::Type &T : D.Types) {
@@ -291,7 +299,7 @@ bool decodeTypes(ByteReader &R, SnapshotData &D) {
 
 bool decodeFields(ByteReader &R, SnapshotData &D) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Fields.resize(N);
   for (SnapshotData::Field &F : D.Fields)
@@ -302,7 +310,7 @@ bool decodeFields(ByteReader &R, SnapshotData &D) {
 
 bool decodeMethods(ByteReader &R, SnapshotData &D) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Methods.resize(N);
   for (SnapshotData::Method &M : D.Methods) {
@@ -316,7 +324,7 @@ bool decodeMethods(ByteReader &R, SnapshotData &D) {
 
 bool decodeVars(ByteReader &R, SnapshotData &D) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Vars.resize(N);
   for (SnapshotData::Var &V : D.Vars)
@@ -328,7 +336,7 @@ bool decodeVars(ByteReader &R, SnapshotData &D) {
 
 bool decodeObjs(ByteReader &R, SnapshotData &D) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Objs.resize(N);
   for (SnapshotData::Obj &O : D.Objs) {
@@ -342,7 +350,7 @@ bool decodeObjs(ByteReader &R, SnapshotData &D) {
 
 bool decodePtsSets(ByteReader &R, SnapshotData &D, uint32_t NumObjs) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.PtsSets.resize(N);
   for (std::vector<uint32_t> &S : D.PtsSets)
@@ -353,7 +361,7 @@ bool decodePtsSets(ByteReader &R, SnapshotData &D, uint32_t NumObjs) {
 
 bool decodeSites(ByteReader &R, SnapshotData &D, uint32_t NumMethods) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Sites.resize(N);
   for (SnapshotData::Site &S : D.Sites) {
@@ -368,7 +376,7 @@ bool decodeSites(ByteReader &R, SnapshotData &D, uint32_t NumMethods) {
 
 bool decodeCasts(ByteReader &R, SnapshotData &D) {
   uint64_t N;
-  if (!R.readVarint(N))
+  if (!readCount(R, N))
     return false;
   D.Casts.resize(N);
   for (SnapshotData::Cast &C : D.Casts)
@@ -379,7 +387,14 @@ bool decodeCasts(ByteReader &R, SnapshotData &D) {
 }
 
 /// Cross-section reference validation, run once everything is decoded.
+/// Deliberately re-checks the id lists that decoding already bounded:
+/// decode-time bounds only see the tables decoded *before* the list, so
+/// this pass is the actual guarantee that no reference dangles.
 const char *validateRefs(const SnapshotData &D) {
+  for (const SnapshotData::Type &T : D.Types)
+    for (uint32_t A : T.Ancestors)
+      if (A >= D.Types.size())
+        return "type ancestor out of range";
   for (const SnapshotData::Field &F : D.Fields)
     if (F.Declaring >= D.Types.size())
       return "field declaring-type out of range";
@@ -390,9 +405,17 @@ const char *validateRefs(const SnapshotData &D) {
     if (O.Type >= D.Types.size() ||
         (O.Method != SnapshotData::NoMethod && O.Method >= D.Methods.size()))
       return "object reference out of range";
-  for (const SnapshotData::Site &S : D.Sites)
+  for (const std::vector<uint32_t> &S : D.PtsSets)
+    for (uint32_t O : S)
+      if (O >= D.Objs.size())
+        return "points-to set object out of range";
+  for (const SnapshotData::Site &S : D.Sites) {
     if (S.Enclosing >= D.Methods.size())
       return "call-site enclosing method out of range";
+    for (uint32_t Callee : S.Callees)
+      if (Callee >= D.Methods.size())
+        return "call-site callee out of range";
+  }
   for (const SnapshotData::Cast &C : D.Casts)
     if (C.From >= D.Vars.size() || C.Target >= D.Types.size() ||
         C.Enclosing >= D.Methods.size())
@@ -441,6 +464,10 @@ mahjong::serve::decodeSnapshot(std::string_view Bytes, std::string &Err) {
         !Sections.readBytes(Len, Body))
       return Fail("truncated section table");
     uint8_t Id = static_cast<uint8_t>(SecId[0]);
+    // A repeated section would silently overwrite a table other sections
+    // were already bound-checked against; reject it outright.
+    if (Id < sizeof(Seen) && Seen[Id])
+      return Fail("duplicate section " + std::to_string(Id));
     ByteReader R(Body);
     bool Ok = true;
     switch (Id) {

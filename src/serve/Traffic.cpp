@@ -187,10 +187,17 @@ size_t QueryGenerator::pickRank(size_t N) {
 
 std::string QueryGenerator::next() {
   unsigned Pick = static_cast<unsigned>(nextRand() % TotalWeight);
-  auto VarKey = [this] { return D.varKey(pickRank(D.Vars.size())); };
+  // On a snapshot with no variables at all (an empty program) there is
+  // no valid key of any kind; emit a fixed parse-valid query that the
+  // engine answers as unknown-variable rather than indexing Vars[0].
+  auto VarKey = [this]() -> std::string {
+    if (D.Vars.empty())
+      return "<no-method>::<no-var>";
+    return D.varKey(pickRank(D.Vars.size()));
+  };
   // Fall through the mix in declaration order; kinds whose key pool is
   // empty degrade to points-to so the stream never stalls.
-  if (Pick < W.WeightPointsTo || D.Vars.empty())
+  if (Pick < W.WeightPointsTo)
     return "points-to " + VarKey();
   Pick -= W.WeightPointsTo;
   if (Pick < W.WeightAlias)
@@ -208,6 +215,8 @@ std::string QueryGenerator::next() {
     return "cast-may-fail " + std::to_string(pickRank(D.Casts.size()));
   }
   Pick -= W.WeightCastMayFail;
+  if (D.Methods.empty())
+    return "points-to " + VarKey();
   const std::string &Sig =
       D.Methods[pickRank(D.Methods.size())].Signature;
   if (Pick < W.WeightCallers)

@@ -46,6 +46,7 @@ public:
 
   bool atEnd() const { return Pos >= Data.size(); }
   size_t pos() const { return Pos; }
+  size_t remaining() const { return Data.size() - Pos; }
   bool ok() const { return !Failed; }
 
   /// Reads one varint into \p Out; on failure returns false and poisons

@@ -136,13 +136,37 @@ TEST(QueryEngine, ErrorsAreReportedNotThrown) {
   EXPECT_FALSE(E.run("alias Main.main/0::a").Ok);
   EXPECT_EQ(E.cacheStats().Insertions, 0u);
 
-  // ...while well-formed queries over missing entities are deterministic
-  // answers and may be cached like any other.
+  // ...and neither do well-formed queries over missing entities: their
+  // key space is unbounded, so an adversarial stream of unknown names
+  // must not grow the cache.
   EXPECT_FALSE(E.run("points-to NoSuch.method/0::v").Ok);
   EXPECT_FALSE(E.run("devirt 99999").Ok);
   EXPECT_FALSE(E.run("devirt notanumber").Ok);
   EXPECT_FALSE(E.run("cast-may-fail -1").Ok);
   EXPECT_FALSE(E.run("callers NoSuch.method/9").Ok);
+  EXPECT_EQ(E.cacheStats().Insertions, 0u);
+}
+
+TEST(QueryCacheTest, RetiredMemoryIsBounded) {
+  // Retired entries are the cache's whole allocation footprint; a stream
+  // of endlessly distinct keys must stop allocating at the cap instead
+  // of growing without bound (misses then evaluate uncached).
+  QueryCache C(/*Capacity=*/8);
+  QueryResult R;
+  R.Ok = true;
+  R.Items.push_back("answer");
+  const int Distinct = 100000;
+  for (int I = 0; I < Distinct; ++I)
+    C.insert("key" + std::to_string(I), R);
+  QueryCache::Stats S = C.stats();
+  ASSERT_LT(S.Insertions, static_cast<uint64_t>(Distinct));
+  // Entries published before the cap was hit are still served: every
+  // live entry's key is among the first Insertions keys.
+  const QueryResult *Hit = nullptr;
+  for (uint64_t I = 0; I < S.Insertions && !Hit; ++I)
+    Hit = C.lookup("key" + std::to_string(I));
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Items, R.Items);
 }
 
 TEST(QueryEngine, CacheHitsRepeatQueries) {

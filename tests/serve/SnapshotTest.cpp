@@ -172,6 +172,65 @@ TEST(Snapshot, SkipsUnknownSectionsForForwardCompat) {
   EXPECT_FALSE(D->Vars.empty());
 }
 
+TEST(Snapshot, RejectsDuplicateSections) {
+  // A repeated section would overwrite the table earlier sections were
+  // bound-checked against: SecObjs(N), SecPtsSets referencing up to N-1,
+  // then SecObjs(1) would leave sets pointing past the object table.
+  std::string Bytes = encodeSnapshot(analyzedSnapshot());
+  std::string Payload = Bytes.substr(HeaderSize);
+  std::string Body;
+  putVarint(Body, 1); // one object
+  putVarint(Body, 0); // type 0
+  putVarint(Body, 0); // no allocating method
+  Payload.push_back(static_cast<char>(6)); // SecObjs, again
+  putVarint(Payload, Body.size());
+  Payload += Body;
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(assemble(Payload), Err), nullptr);
+  EXPECT_NE(Err.find("duplicate"), std::string::npos) << Err;
+}
+
+TEST(Snapshot, RejectsHugeEntryCounts) {
+  // A tiny file claiming 2^40 entries must fail cleanly at decode, not
+  // attempt a multi-terabyte resize and crash on bad_alloc.
+  std::string Payload;
+  std::string Body;
+  putVarint(Body, uint64_t(1) << 40);
+  Payload.push_back(static_cast<char>(5)); // SecVars
+  putVarint(Payload, Body.size());
+  Payload += Body;
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(assemble(Payload), Err), nullptr);
+  EXPECT_NE(Err.find("malformed"), std::string::npos) << Err;
+}
+
+TEST(Snapshot, RejectsOutOfRangeIdListElements) {
+  // The delta-encoded id lists must be validated against the final
+  // tables: points-to sets against objects, callees against methods,
+  // ancestors against types.
+  {
+    SnapshotData D = analyzedSnapshot();
+    ASSERT_FALSE(D.PtsSets.empty());
+    D.PtsSets.back().push_back(1u << 20);
+    std::string Err;
+    EXPECT_EQ(decodeSnapshot(encodeSnapshot(D), Err), nullptr);
+  }
+  {
+    SnapshotData D = analyzedSnapshot();
+    ASSERT_FALSE(D.Sites.empty());
+    D.Sites[0].Callees.push_back(1u << 20);
+    std::string Err;
+    EXPECT_EQ(decodeSnapshot(encodeSnapshot(D), Err), nullptr);
+  }
+  {
+    SnapshotData D = analyzedSnapshot();
+    ASSERT_FALSE(D.Types.empty());
+    D.Types[0].Ancestors.push_back(1u << 20);
+    std::string Err;
+    EXPECT_EQ(decodeSnapshot(encodeSnapshot(D), Err), nullptr);
+  }
+}
+
 TEST(Snapshot, RejectsDanglingCrossReferences) {
   SnapshotData D = analyzedSnapshot();
   ASSERT_FALSE(D.Vars.empty());

@@ -172,6 +172,24 @@ TEST(Traffic, ReplayReportsSaneNumbers) {
   EXPECT_NE(Json.find("\"p99_us\": "), std::string::npos) << Json;
 }
 
+TEST(Traffic, SurvivesDegenerateEmptySnapshot) {
+  // A snapshot of an empty program has no vars, sites, casts or methods;
+  // the generator must emit fixed parse-valid queries instead of
+  // indexing the empty tables.
+  auto D = std::make_shared<SnapshotData>();
+  D->PtsSets.push_back({}); // pinned empty set
+  QueryEngine E(D);
+  QueryWorkload W;
+  W.Clients = 2;
+  W.QueriesPerClient = 64;
+  W.Workers = 1;
+  W.ZipfS = 1.1; // the skewed-rank path must tolerate empty pools too
+  TrafficReport Rep = runTraffic(E, W);
+  EXPECT_EQ(Rep.Queries, 2u * 64u);
+  // Every answer is a clean unknown-entity error, not a crash.
+  EXPECT_EQ(Rep.Failed, Rep.Queries);
+}
+
 TEST(Traffic, DurationModeStopsOnTime) {
   auto D = fixtureSnapshot();
   QueryEngine E(D);
