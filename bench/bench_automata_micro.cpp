@@ -69,6 +69,68 @@ BENCHMARK(BM_PointsToSetUnion)->Arg(1 << 10)->Arg(1 << 14);
 
 namespace {
 
+/// Two sets with skewed sizes: |A| = N, |B| = N / Skew, drawn from the
+/// same universe so overlap is realistic (the solver's common case is a
+/// large accumulated set meeting a small delta or filter bitmap).
+std::pair<PointsToSet, PointsToSet> skewedSets(uint32_t N, uint32_t Skew) {
+  std::mt19937 Rng(23);
+  PointsToSet A, B;
+  for (uint32_t I = 0; I < N; ++I)
+    A.insert(Rng() % (N * 4));
+  for (uint32_t I = 0; I < std::max(1u, N / Skew); ++I)
+    B.insert(Rng() % (N * 4));
+  return {std::move(A), std::move(B)};
+}
+
+} // namespace
+
+static void BM_PointsToSetUnionSkewed(benchmark::State &State) {
+  auto [A, B] = skewedSets(static_cast<uint32_t>(State.range(0)),
+                           static_cast<uint32_t>(State.range(1)));
+  for (auto _ : State) {
+    PointsToSet S = A;
+    benchmark::DoNotOptimize(S.unionWith(B));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PointsToSetUnionSkewed)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 16})
+    ->Args({1 << 14, 256});
+
+static void BM_PointsToSetDifferenceSkewed(benchmark::State &State) {
+  auto [A, B] = skewedSets(static_cast<uint32_t>(State.range(0)),
+                           static_cast<uint32_t>(State.range(1)));
+  for (auto _ : State) {
+    // The solver's delta pattern: which of the small set's elements are
+    // new w.r.t. the big accumulated set.
+    PointsToSet D = A.differenceFrom(B);
+    benchmark::DoNotOptimize(D.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PointsToSetDifferenceSkewed)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 16})
+    ->Args({1 << 14, 256});
+
+static void BM_PointsToSetIntersectSkewed(benchmark::State &State) {
+  auto [A, B] = skewedSets(static_cast<uint32_t>(State.range(0)),
+                           static_cast<uint32_t>(State.range(1)));
+  for (auto _ : State) {
+    PointsToSet S = B; // the type-filter pattern: copy delta, intersect
+    S.intersectWith(A);
+    benchmark::DoNotOptimize(S.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PointsToSetIntersectSkewed)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 16})
+    ->Args({1 << 14, 256});
+
+namespace {
+
 /// Shared fixture: a mid-size workload pre-analyzed once.
 struct Fixture {
   std::unique_ptr<ir::Program> P;

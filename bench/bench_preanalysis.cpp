@@ -9,21 +9,105 @@
 // breakdown, the FPG size (objects, fields, edges), NFA sizes (average
 // and maximum over sampled roots), and shared-automata statistics.
 //
+// It then benchmarks the two propagation engines head to head on the ci
+// pre-analysis (the phase MAHJONG's heap modeling consumes): naive FIFO
+// reference vs the wave solver (online cycle collapsing + topological
+// worklist + filter bitmaps), checking that both computed the identical
+// solution, and emits the comparison as machine-readable
+// BENCH_solver.json for CI trend tracking.
+//
+// Flags:
+//   --smoke        reduced workload scale (fast; what CI runs)
+//   --json PATH    where to write the JSON report (default
+//                  BENCH_solver.json in the working directory)
+//   --only NAME    restrict both sections to one benchmark profile
+//   --solver-only  skip the Table-2 breakdown; run just the engine
+//                  comparison (for solver-perf iteration)
+//
+// Exit code is nonzero if any profile's engines disagree.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "pta/ResultDigest.h"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <vector>
+
 using namespace mahjong;
 using namespace mahjong::bench;
 
-int main() {
+namespace {
+
+struct SolverRow {
+  std::string Name;
+  double NaiveSeconds = 0, WaveSeconds = 0;
+  uint64_t NaivePops = 0, WavePops = 0;
+  uint64_t NaiveSetBytes = 0, WaveSetBytes = 0;
+  uint64_t SCCsCollapsed = 0, NodesCollapsed = 0, FilterBitmapHits = 0;
+  bool Identical = false;
+  double speedup() const {
+    return WaveSeconds > 0 ? NaiveSeconds / WaveSeconds : 0;
+  }
+};
+
+std::unique_ptr<pta::PTAResult> runEngine(const ir::Program &P,
+                                          const ir::ClassHierarchy &CH,
+                                          pta::SolverEngine Engine) {
+  pta::AnalysisOptions Opts; // ci, alloc-site heap, no budget
+  Opts.Engine = Engine;
+  return pta::runPointerAnalysis(P, CH, Opts);
+}
+
+void writeJson(const std::string &Path, const char *Mode,
+               const std::vector<SolverRow> &Rows, const SolverRow *Largest) {
+  std::ofstream Out(Path);
+  Out << "{\n  \"mode\": \"" << Mode << "\",\n  \"profiles\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const SolverRow &R = Rows[I];
+    char Buf[640];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"name\": \"%s\", \"naive_seconds\": %.4f, "
+        "\"wave_seconds\": %.4f, \"speedup\": %.2f, "
+        "\"naive_pops\": %llu, \"wave_pops\": %llu, "
+        "\"naive_set_bytes\": %llu, \"wave_set_bytes\": %llu, "
+        "\"sccs_collapsed\": %llu, \"nodes_collapsed\": %llu, "
+        "\"filter_bitmap_hits\": %llu, \"identical\": %s}%s\n",
+        R.Name.c_str(), R.NaiveSeconds, R.WaveSeconds, R.speedup(),
+        (unsigned long long)R.NaivePops, (unsigned long long)R.WavePops,
+        (unsigned long long)R.NaiveSetBytes,
+        (unsigned long long)R.WaveSetBytes,
+        (unsigned long long)R.SCCsCollapsed,
+        (unsigned long long)R.NodesCollapsed,
+        (unsigned long long)R.FilterBitmapHits,
+        R.Identical ? "true" : "false", I + 1 < Rows.size() ? "," : "");
+    Out << Buf;
+  }
+  Out << "  ]";
+  if (Largest) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n  \"largest\": {\"name\": \"%s\", \"speedup\": %.2f}",
+                  Largest->Name.c_str(), Largest->speedup());
+    Out << Buf;
+  }
+  Out << "\n}\n";
+}
+
+void printPreAnalysisBreakdown(const std::vector<std::string> &Names,
+                               double Scale, bool Smoke) {
   std::printf("== Pre-analysis breakdown (paper Table 2 col. 2 and "
-              "§6.1.1) ==\n\n");
+              "§6.1.1)%s ==\n\n",
+              Smoke ? " [smoke scale]" : "");
   std::printf("%-12s %7s %7s %7s | %8s %7s %9s | %8s %8s | %9s\n",
               "program", "ci(s)", "fpg(s)", "mj(s)", "objects", "fields",
               "fpg-edges", "nfa-avg", "nfa-max", "dfa-states");
-  for (const std::string &Name : workload::benchmarkNames()) {
-    auto P = workload::buildBenchmarkProgram(Name);
+  for (const std::string &Name : Names) {
+    auto P = workload::buildBenchmarkProgram(Name, Scale);
     ir::ClassHierarchy CH(*P);
     core::MahjongResult MR = core::buildMahjongHeap(*P, CH);
 
@@ -53,5 +137,97 @@ int main() {
               "than the sum of NFA\nsizes (the shared-automata "
               "optimization); NFA sizes vary widely with a\nlong tail "
               "(the paper reports avg 992, max 10034 on eclipse).\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  bool SolverOnly = false;
+  std::string JsonPath = "BENCH_solver.json";
+  std::string Only;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--only") && I + 1 < Argc)
+      Only = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--solver-only"))
+      SolverOnly = true;
+    else {
+      std::fprintf(stderr, "usage: bench_preanalysis [--smoke] [--json PATH] "
+                           "[--only PROFILE] [--solver-only]\n");
+      return 2;
+    }
+  }
+  const double Scale = Smoke ? 0.05 : 1.0;
+  std::vector<std::string> Names;
+  for (const std::string &Name : workload::benchmarkNames())
+    if (Only.empty() || Name == Only)
+      Names.push_back(Name);
+  if (Names.empty()) {
+    std::fprintf(stderr, "unknown profile '%s'\n", Only.c_str());
+    return 2;
+  }
+
+  if (!SolverOnly)
+    printPreAnalysisBreakdown(Names, Scale, Smoke);
+
+  std::printf("\n== Solver engines on the ci pre-analysis "
+              "(naive FIFO vs wave) ==\n\n");
+  std::printf("%-12s %9s %9s %8s | %10s %10s | %6s %7s %6s\n", "program",
+              "naive(s)", "wave(s)", "speedup", "naive-pops", "wave-pops",
+              "sccs", "merged", "same");
+  std::vector<SolverRow> Rows;
+  bool AllIdentical = true;
+  for (const std::string &Name : Names) {
+    auto P = workload::buildBenchmarkProgram(Name, Scale);
+    ir::ClassHierarchy CH(*P);
+    SolverRow Row;
+    Row.Name = Name;
+    auto Naive = runEngine(*P, CH, pta::SolverEngine::Naive);
+    auto Wave = runEngine(*P, CH, pta::SolverEngine::Wave);
+    Row.NaiveSeconds = Naive->Stats.Seconds;
+    Row.WaveSeconds = Wave->Stats.Seconds;
+    Row.NaivePops = Naive->Stats.WorklistPops;
+    Row.WavePops = Wave->Stats.WorklistPops;
+    Row.NaiveSetBytes = Naive->Stats.SetBytes;
+    Row.WaveSetBytes = Wave->Stats.SetBytes;
+    Row.SCCsCollapsed = Wave->Stats.SCCsCollapsed;
+    Row.NodesCollapsed = Wave->Stats.NodesCollapsed;
+    Row.FilterBitmapHits = Wave->Stats.FilterBitmapHits;
+    Row.Identical = pta::equivalentResults(*Naive, *Wave);
+    AllIdentical &= Row.Identical;
+    std::printf("%-12s %9.2f %9.2f %7.2fx | %10llu %10llu | %6llu %7llu "
+                "%6s\n",
+                Name.c_str(), Row.NaiveSeconds, Row.WaveSeconds,
+                Row.speedup(), (unsigned long long)Row.NaivePops,
+                (unsigned long long)Row.WavePops,
+                (unsigned long long)Row.SCCsCollapsed,
+                (unsigned long long)Row.NodesCollapsed,
+                Row.Identical ? "yes" : "NO");
+    Rows.push_back(Row);
+  }
+
+  const SolverRow *Largest = nullptr;
+  for (const SolverRow &R : Rows)
+    if (!Largest || R.NaiveSeconds > Largest->NaiveSeconds)
+      Largest = &R;
+  if (Largest)
+    std::printf("\nlargest profile by naive solve time: %s "
+                "(%.2fs -> %.2fs, %.2fx)\n",
+                Largest->Name.c_str(), Largest->NaiveSeconds,
+                Largest->WaveSeconds, Largest->speedup());
+
+  writeJson(JsonPath, Smoke ? "smoke" : "full", Rows, Largest);
+  std::printf("wrote %s\n", JsonPath.c_str());
+
+  if (!AllIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: wave and naive solvers disagree on at least one "
+                 "profile\n");
+    return 1;
+  }
   return 0;
 }

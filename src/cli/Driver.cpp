@@ -33,6 +33,7 @@ int usage(std::ostream &Err) {
          "commands:\n"
          "  analyze <file.mj> [--analysis ci|2cs|2obj|3obj|2type|3type]\n"
          "                    [--heap site|type|mahjong] [--budget SECONDS]\n"
+         "                    [--solver wave|naive]\n"
          "                    [--facts DIR] [--save-snapshot FILE.mjsnap]\n"
          "  query <file.mjsnap> <query...>   e.g. query s.mjsnap points-to "
          "Main.main/0::x\n"
@@ -162,12 +163,13 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
                std::ostream &Err) {
   if (Argc < 3)
     return usage(Err);
-  std::string Analysis = "2obj", HeapKind = "mahjong", FactsDir, SnapPath,
-              BudgetStr;
+  std::string Analysis = "2obj", HeapKind = "mahjong", SolverKind = "wave",
+              FactsDir, SnapPath, BudgetStr;
   FlagParser Flags(Argc, Argv, 3, Err);
   while (!Flags.done()) {
     if (Flags.take("--analysis", Analysis) || Flags.take("--heap", HeapKind) ||
         Flags.take("--budget", BudgetStr) || Flags.take("--facts", FactsDir) ||
+        Flags.take("--solver", SolverKind) ||
         Flags.take("--save-snapshot", SnapPath))
       continue;
     return Flags.malformed() ? ExitUsage : Flags.unknown();
@@ -189,6 +191,11 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
         << "'\n";
     return ExitUsage;
   }
+  if (SolverKind != "wave" && SolverKind != "naive") {
+    Err << "error: flag '--solver' got unknown engine '" << SolverKind
+        << "'\n";
+    return ExitUsage;
+  }
   int Exit = ExitOk;
   auto P = load(Argv[2], Err, Exit);
   if (!P)
@@ -201,6 +208,8 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
   Opts.Kind = Kind;
   Opts.K = K;
   Opts.TimeBudgetSeconds = Budget;
+  Opts.Engine = SolverKind == "naive" ? pta::SolverEngine::Naive
+                                      : pta::SolverEngine::Wave;
   if (HeapKind == "mahjong") {
     MR = core::buildMahjongHeap(*P, CH);
     Opts.Heap = MR.Heap.get();
@@ -231,6 +240,10 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
       << " (mono: " << CR.MonoCallSites << ")\n";
   Out << "  may-fail casts:     " << CR.MayFailCasts << " / " << CR.TotalCasts
       << "\n";
+  Out << "  solver (" << SolverKind << "):     " << R->Stats.WorklistPops
+      << " pops, " << R->Stats.SCCsCollapsed << " SCCs collapsed ("
+      << R->Stats.NodesCollapsed << " nodes), " << R->Stats.FilterBitmapHits
+      << " filter bitmap hits\n";
   if (!FactsDir.empty()) {
     if (!pta::writeAllFacts(*R, FactsDir)) {
       Err << "error: cannot write facts into '" << FactsDir << "'\n";

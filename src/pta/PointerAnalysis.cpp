@@ -6,6 +6,7 @@
 
 #include "pta/PointerAnalysis.h"
 
+#include "pta/NaiveSolver.h"
 #include "pta/Solver.h"
 
 using namespace mahjong;
@@ -63,7 +64,12 @@ mahjong::pta::runPointerAnalysis(const Program &P, const ClassHierarchy &CH,
   auto Selector = makeContextSelector(Opts.Kind, Opts.K, R->Ctxs, P);
   R->AnalysisName = analysisName(Opts.Kind, Opts.K);
   R->HeapName = Heap.name();
-  Solver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
-  S.run();
+  if (Opts.Engine == SolverEngine::Naive) {
+    NaiveSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
+    S.run();
+  } else {
+    Solver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
+    S.run();
+  }
   return R;
 }

@@ -50,6 +50,11 @@ struct PTAStats {
   uint64_t NumReachableMethods = 0;
   uint64_t VarPtsEntries = 0; ///< total size of all cs-variable points-to sets
   uint64_t WorklistPops = 0;
+  // Wave-propagation engine counters (zero under the naive engine).
+  uint64_t SCCsCollapsed = 0;  ///< copy-edge SCCs merged online
+  uint64_t NodesCollapsed = 0; ///< nodes absorbed into a representative
+  uint64_t FilterBitmapHits = 0; ///< cast filters served by a type bitmap
+  uint64_t SetBytes = 0; ///< bytes held by all points-to sets at the end
 };
 
 /// The complete solution of one points-to analysis run.
@@ -132,10 +137,19 @@ public:
   }
 };
 
+/// Which propagation core solves the constraint system. Both engines
+/// compute the same fixpoint (see tests/pta/SolverEquivalenceTest.cpp);
+/// Naive is retained as the differential reference and perf baseline.
+enum class SolverEngine {
+  Wave, ///< cycle-collapsing, topologically ordered wave propagation
+  Naive ///< textbook FIFO worklist
+};
+
 /// Options selecting the analysis variant.
 struct AnalysisOptions {
   ContextKind Kind = ContextKind::Insensitive;
   unsigned K = 0;
+  SolverEngine Engine = SolverEngine::Wave;
   /// Heap abstraction; null means the allocation-site abstraction.
   const HeapAbstraction *Heap = nullptr;
   /// Wall-clock budget in seconds; 0 means unlimited. A run that exceeds

@@ -1,0 +1,42 @@
+//===-- pta/ResultDigest.h - Canonical PTAResult comparison ---*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Order-insensitive canonicalization of a PTAResult, used to assert that
+/// two solver engines computed the same solution. Interned ids (contexts,
+/// cs-objects, pointer nodes) depend on discovery order, which differs
+/// between schedulers, so the canonical form spells every fact in terms
+/// of program-level ids and context *contents*: per-variable points-to
+/// sets under each context, per-field points-to sets, static fields, the
+/// CI call graph, and CI reachability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_RESULTDIGEST_H
+#define MAHJONG_PTA_RESULTDIGEST_H
+
+#include "pta/PointerAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace mahjong::pta {
+
+/// Every fact of \p R as a sorted list of canonical text lines.
+std::vector<std::string> canonicalResultLines(const PTAResult &R);
+
+/// FNV-1a hash over the canonical lines — equal iff the solutions are
+/// semantically identical (up to hash collision).
+uint64_t canonicalResultDigest(const PTAResult &R);
+
+/// Compares two solutions canonically. On mismatch returns false and, if
+/// \p FirstDiff is non-null, describes the first differing fact.
+bool equivalentResults(const PTAResult &A, const PTAResult &B,
+                       std::string *FirstDiff = nullptr);
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_RESULTDIGEST_H

@@ -1,4 +1,4 @@
-//===-- pta/Solver.cpp - Worklist points-to solver --------------------------===//
+//===-- pta/Solver.cpp - Wave-propagation points-to solver ------------------===//
 //
 // Part of mahjong-cpp. Distributed under the MIT license.
 //
@@ -8,299 +8,392 @@
 
 #include "support/Timer.h"
 
+#include <algorithm>
+
 using namespace mahjong;
 using namespace mahjong::ir;
 using namespace mahjong::pta;
 
-Solver::Solver(const Program &P, const ClassHierarchy &CH,
-               const HeapAbstraction &Heap, ContextSelector &Selector,
-               PTAResult &R, double TimeBudgetSeconds)
-    : P(P), CH(CH), Heap(Heap), Selector(Selector), R(R),
-      TimeBudget(TimeBudgetSeconds), Usage(P.numVars()) {
-  // Build the structural per-variable usage index once: which loads,
-  // stores and calls dereference each variable as their base.
-  for (uint32_t MIdx = 0; MIdx < P.numMethods(); ++MIdx) {
-    for (const Stmt &S : P.method(MethodId(MIdx)).Body) {
-      switch (S.Kind) {
-      case StmtKind::Load:
-        Usage[S.Base.idx()].Loads.push_back(&S);
-        break;
-      case StmtKind::Store:
-        Usage[S.Base.idx()].Stores.push_back(&S);
-        break;
-      case StmtKind::Invoke: {
-        const CallSiteInfo &CS = P.callSite(S.Site);
-        if (CS.Kind != CallKind::Static)
-          Usage[CS.Base.idx()].Calls.push_back(S.Site);
-        break;
-      }
-      default:
-        break;
-      }
+void Solver::ensureNodeStorage(uint32_t Idx) {
+  if (Idx < Out.size())
+    return;
+  // Geometric growth: reserve doubled capacity once, then resize the
+  // parallel arrays to the exact node count (PTAResult invariants expect
+  // Pts.size() == Nodes.size()).
+  size_t NewSize = Idx + 1;
+  if (NewSize > Out.capacity()) {
+    size_t NewCap = std::max(NewSize, Out.capacity() * 2);
+    Out.reserve(NewCap);
+    R.Pts.reserve(NewCap);
+    Pending.reserve(NewCap);
+    Queued.reserve(NewCap);
+    Order.reserve(NewCap);
+    SelfVar.reserve(NewCap);
+    VarMembers.reserve(NewCap);
+    Reps.reserve(static_cast<uint32_t>(NewCap));
+  }
+  size_t OldSize = Out.size();
+  Out.resize(NewSize);
+  R.Pts.resize(NewSize);
+  Pending.resize(NewSize);
+  Queued.resize(NewSize, 0);
+  Order.resize(NewSize);
+  SelfVar.resize(NewSize);
+  VarMembers.resize(NewSize);
+  Reps.grow(static_cast<uint32_t>(NewSize));
+  for (size_t I = OldSize; I < NewSize; ++I) {
+    Order[I] = NextFreshOrder++;
+    // Field/static nodes carry no growth handlers, and neither do vars
+    // without loads/stores/calls (onVarGrowth is a no-op for them, so
+    // collapsed classes need not iterate them on every delta).
+    uint64_t Key = R.Nodes.get(PtrNodeId(static_cast<uint32_t>(I)));
+    if (PTAResult::kindOf(Key) == PTAResult::KindVar) {
+      auto [C, V] = R.CSM.varOf(PTAResult::csVarOf(Key));
+      const VarUsage &U = Usage[V.idx()];
+      if (!U.Loads.empty() || !U.Stores.empty() || !U.Calls.empty())
+        SelfVar[I] = {C, V};
     }
   }
-  // The context-insensitive null object exists in every run.
-  CSNullObjRaw = R.CSM.csObj(R.Ctxs.empty(), Program::nullObj()).idx();
 }
 
-PtrNodeId Solver::node(uint64_t Key) {
-  PtrNodeId N = R.Nodes.intern(Key);
-  if (N.idx() >= Out.size()) {
-    Out.resize(N.idx() + 1);
-    R.Pts.resize(N.idx() + 1);
-    Pending.resize(N.idx() + 1);
-    Queued.resize(N.idx() + 1, false);
+void Solver::registerCSObj(uint32_t CSObjRaw, TypeId T) {
+  SolverCore::registerCSObj(CSObjRaw, T);
+  // Keep every already-materialized filter bitmap current: a cs-object
+  // born after the bitmap was built must still pass future casts.
+  for (auto &[FilterRaw, Objs] : FilterObjs)
+    if (CH.isSubtype(T, TypeId(FilterRaw)))
+      Objs.insert(CSObjRaw);
+}
+
+const PointsToSet &Solver::filterBitmap(TypeId Filter) {
+  auto [It, Inserted] = FilterObjs.try_emplace(Filter.idx());
+  if (Inserted) {
+    // First cast through this type: sweep the cs-objects seen so far.
+    // registerCSObj keeps the bitmap current from here on.
+    for (uint32_t Raw = 0; Raw < CSObjType.size(); ++Raw)
+      if (CSObjType[Raw].isValid() && CH.isSubtype(CSObjType[Raw], Filter))
+        It->second.insert(Raw);
   }
-  return N;
+  return It->second;
 }
 
-PtrNodeId Solver::varNode(ContextId C, VarId V) {
-  return node(PTAResult::varKey(R.CSM.csVar(C, V)));
-}
-
-PtrNodeId Solver::fieldNode(CSObjId O, FieldId F) {
-  return node(PTAResult::fieldKey(O, F));
-}
-
-PtrNodeId Solver::staticNode(FieldId F) {
-  return node(PTAResult::staticKey(F));
-}
-
-void Solver::addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) {
-  if (Src == Dst && !Filter.isValid())
-    return;
-  uint64_t Key = (static_cast<uint64_t>(Src.idx()) << 32) | Dst.idx();
-  if (!Filter.isValid()) {
-    if (!EdgeDedup.insert(Key).second)
-      return;
-  } else {
-    // Filtered edges (casts) are rare per node; scan for an exact
-    // duplicate since distinct filters on the same (src, dst) are legal.
-    for (const Edge &E : Out[Src.idx()])
-      if (E.Target == Dst && E.Filter == Filter)
-        return;
-  }
-  Out[Src.idx()].push_back({Dst, Filter});
-  if (!R.Pts[Src.idx()].empty())
-    addToWorklist(Dst, applyFilter(R.Pts[Src.idx()], Filter));
-}
-
-PointsToSet Solver::applyFilter(const PointsToSet &Set, TypeId Filter) const {
-  if (!Filter.isValid())
-    return Set;
-  PointsToSet Result;
-  for (uint32_t Raw : Set) {
-    TypeId T = CSObjType[Raw];
-    if (CH.isSubtype(T, Filter))
-      Result.insert(Raw);
-  }
+PointsToSet Solver::filtered(const PointsToSet &Set, TypeId Filter) {
+  PointsToSet Result = Set;
+  Result.intersectWith(filterBitmap(Filter));
+  ++R.Stats.FilterBitmapHits;
   return Result;
 }
 
-void Solver::addToWorklist(PtrNodeId N, PointsToSet Delta) {
+void Solver::enqueue(uint32_t N, const PointsToSet &Delta) {
   if (Delta.empty())
     return;
-  Pending[N.idx()].unionWith(Delta);
-  if (!Queued[N.idx()]) {
-    Queued[N.idx()] = true;
-    Worklist.push_back(N);
+  Pending[N].unionWith(Delta);
+  // A node already marked dirty batches: either its turn in the current
+  // wave is still ahead (it will see the enlarged Pending), or it already
+  // sits in NextWave. Only a clean node needs a new wave entry.
+  if (!Queued[N]) {
+    Queued[N] = 1;
+    NextWave.push_back(N);
   }
 }
 
-void Solver::propagate(PtrNodeId N, const PointsToSet &Delta) {
-  PointsToSet Diff = R.Pts[N.idx()].differenceFrom(Delta);
+void Solver::seedDelta(PtrNodeId N, PointsToSet &&Delta) {
+  enqueue(rep(N.idx()), Delta);
+}
+
+void Solver::addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) {
+  uint32_t S = rep(Src.idx()), D = rep(Dst.idx());
+  // Same-class edges can never add anything: unfiltered self-loops are
+  // identities, and a filtered self-loop only re-derives a subset of the
+  // class's own set.
+  if (S == D)
+    return;
+  if (!Filter.isValid()) {
+    uint64_t Key = (static_cast<uint64_t>(S) << 32) | D;
+    if (!EdgeDedup.insert(Key).second)
+      return;
+    ++UnfilteredEdges;
+  } else {
+    // Filtered edges (casts) are rare per node; scan for an exact
+    // duplicate since distinct filters on the same (src, dst) are legal.
+    for (const Edge &E : Out[S])
+      if (rep(E.Target.idx()) == D && E.Filter == Filter)
+        return;
+  }
+  Out[S].push_back({PtrNodeId(D), Filter});
+  const PointsToSet &SrcPts = R.Pts[S];
+  if (SrcPts.empty())
+    return;
+  if (!Filter.isValid())
+    enqueue(D, SrcPts); // zero-copy: unionWith merge-joins in place
+  else
+    enqueue(D, filtered(SrcPts, Filter));
+}
+
+void Solver::propagate(uint32_t N, const PointsToSet &Delta) {
+  PointsToSet Diff = R.Pts[N].differenceFrom(Delta);
   if (Diff.empty())
     return;
-  R.Pts[N.idx()].unionWith(Diff);
-  uint64_t Key = R.Nodes.get(N);
-  // Iterate by index: edge processing never appends to Out[N] (new edges
-  // only appear in onVarGrowth below, which runs after this loop and
-  // seeds them with the already-updated points-to set).
-  const std::vector<Edge> &Edges = Out[N.idx()];
-  size_t NumEdges = Edges.size();
-  for (size_t I = 0; I < NumEdges; ++I)
-    addToWorklist(Edges[I].Target, applyFilter(Diff, Edges[I].Filter));
-  if (PTAResult::kindOf(Key) == PTAResult::KindVar) {
-    auto [C, V] = R.CSM.varOf(PTAResult::csVarOf(Key));
-    onVarGrowth(C, V, Diff);
+  R.Pts[N].unionWith(Diff);
+  // Snapshot the edge count: onVarGrowth below may append to Out[N], and
+  // those new edges are seeded from the already-updated set. Index per
+  // iteration — node creation inside the loop cannot happen, but staying
+  // index-based keeps the loop reallocation-proof.
+  size_t NumEdges = Out[N].size();
+  for (size_t I = 0; I < NumEdges; ++I) {
+    const Edge E = Out[N][I];
+    uint32_t T = rep(E.Target.idx());
+    if (T == N)
+      continue; // target collapsed into this class since the edge was added
+    if (!E.Filter.isValid())
+      enqueue(T, Diff);
+    else
+      enqueue(T, filtered(Diff, E.Filter));
+  }
+  // Growth handlers for every variable merged into this class (the
+  // common singleton case reads the flat SelfVar entry). New nodes
+  // created here are their own classes, so VarMembers[N] cannot grow.
+  if (VarMembers[N].empty()) {
+    VarRef Self = SelfVar[N];
+    if (Self.V.isValid())
+      onVarGrowth(Self.C, Self.V, Diff);
+  } else {
+    size_t NumVars = VarMembers[N].size();
+    for (size_t I = 0; I < NumVars; ++I) {
+      VarRef M = VarMembers[N][I];
+      onVarGrowth(M.C, M.V, Diff);
+    }
   }
 }
 
-MethodId Solver::dispatch(TypeId RecvType, CallSiteId Site) {
-  uint64_t Key = (static_cast<uint64_t>(RecvType.idx()) << 32) | Site.idx();
-  auto It = DispatchCache.find(Key);
-  if (It != DispatchCache.end())
-    return It->second;
-  const CallSiteInfo &CS = P.callSite(Site);
-  MethodId Callee = CS.Kind == CallKind::Virtual
-                        ? CH.resolveVirtual(RecvType, CS.Sig)
-                        : CS.Direct;
-  DispatchCache.emplace(Key, Callee);
-  return Callee;
+bool Solver::shouldRecondition() const {
+  if (!ConditionedOnce)
+    return UnfilteredEdges > 0;
+  uint64_t Growth = UnfilteredEdges - EdgesAtLastPass;
+  if (Growth < 512)
+    return false; // a quiescent graph has no new cycles to find
+  // Re-pass once the copy graph grew a quarter since the last pass, or —
+  // whatever the relative growth — once enough waves went by. The relative
+  // bound keeps the O(V+E) Tarjan sweeps logarithmic in edge insertions;
+  // the wave bound catches cycles that wire up through receiver-driven
+  // call plumbing (listener registration, fluent returns) long after the
+  // bulk of the graph exists: a program-wide SCC is only a few thousand
+  // edges, but circulating it once per wave costs a full flood of the
+  // component each time. The wave interval backs off (recondition())
+  // whenever a wave-triggered pass finds nothing, so a long quiescent
+  // endgame is not taxed with fruitless Tarjan sweeps.
+  return Growth * 4 >= EdgesAtLastPass ||
+         WavesSinceRecondition >= WaveTriggerInterval;
 }
 
-void Solver::processCallOnRecv(ContextId C, CallSiteId Site,
-                               uint32_t CSObjRaw) {
-  if (CSObjRaw == CSNullObjRaw)
-    return; // calls on null never dispatch
-  const CallSiteInfo &CS = P.callSite(Site);
-  auto [HCtx, RecvObj] = R.CSM.objOf(CSObjId(CSObjRaw));
-  MethodId Callee = dispatch(P.obj(RecvObj).Type, Site);
-  if (!Callee.isValid())
-    return;
-  const MethodInfo &CalleeInfo = P.method(Callee);
-  ContextId CalleeCtx = Selector.selectCallee(C, Site, HCtx, RecvObj);
-  // Bind the receiver unconditionally: several receiver objects can share
-  // one (callee, context) pair, and each must flow into 'this'.
-  PointsToSet Recv;
-  Recv.insert(CSObjRaw);
-  addToWorklist(varNode(CalleeCtx, CalleeInfo.This), std::move(Recv));
-  if (!R.CG.addEdge(C, Site, CalleeCtx, Callee))
-    return;
-  addReachable(CalleeCtx, Callee);
-  for (size_t I = 0; I < CS.Args.size() && I < CalleeInfo.Params.size(); ++I)
-    addEdge(varNode(C, CS.Args[I]), varNode(CalleeCtx, CalleeInfo.Params[I]));
-  if (CS.Result.isValid())
-    addEdge(varNode(CalleeCtx, CalleeInfo.Ret), varNode(C, CS.Result));
-  // Exceptions escaping the callee may propagate to the caller
-  // (conservatively also when caught; see MethodInfo::Exc).
-  addEdge(varNode(CalleeCtx, CalleeInfo.Exc),
-          varNode(C, P.method(CS.Enclosing).Exc));
-}
+void Solver::collapseScc(const std::vector<uint32_t> &Members) {
+  // Union of everything the members know or have pending. Collapsing
+  // resets the class to "empty with everything pending": the single
+  // re-propagation replays the union through the merged edge list and the
+  // merged var-growth handlers, which is what keeps members that had not
+  // yet seen each other's elements sound.
+  PointsToSet All;
+  for (uint32_t M : Members) {
+    All.unionWith(R.Pts[M]);
+    All.unionWith(Pending[M]);
+    R.Pts[M].clear();
+    Pending[M].clear();
+    Queued[M] = 0;
+  }
+  uint32_t W = Members.front();
+  for (size_t I = 1; I < Members.size(); ++I)
+    W = Reps.unite(W, Members[I]);
 
-void Solver::onVarGrowth(ContextId C, VarId V, const PointsToSet &Delta) {
-  const VarUsage &U = Usage[V.idx()];
-  for (const Stmt *S : U.Loads)
-    for (uint32_t Raw : Delta) {
-      if (Raw == CSNullObjRaw)
-        continue; // no fields on null
-      addEdge(fieldNode(CSObjId(Raw), S->Field), varNode(C, S->To));
-    }
-  for (const Stmt *S : U.Stores)
-    for (uint32_t Raw : Delta) {
-      if (Raw == CSNullObjRaw)
+  // Merge edge lists into the representative, rewriting targets to their
+  // representatives, dropping edges that became internal to the class and
+  // deduplicating what remains.
+  std::vector<Edge> Merged;
+  std::unordered_set<uint64_t> Local;
+  for (uint32_t M : Members) {
+    for (const Edge &E : Out[M]) {
+      uint32_t T = rep(E.Target.idx());
+      if (T == W)
         continue;
-      addEdge(varNode(C, S->From), fieldNode(CSObjId(Raw), S->Field));
+      uint64_t Key = (static_cast<uint64_t>(T) << 32) |
+                     (E.Filter.isValid() ? E.Filter.idx() + 1u : 0u);
+      if (!Local.insert(Key).second)
+        continue;
+      if (!E.Filter.isValid())
+        EdgeDedup.insert((static_cast<uint64_t>(W) << 32) | T);
+      Merged.push_back({PtrNodeId(T), E.Filter});
     }
-  for (CallSiteId Site : U.Calls)
-    for (uint32_t Raw : Delta)
-      processCallOnRecv(C, Site, Raw);
+    if (M != W) {
+      Out[M].clear();
+      Out[M].shrink_to_fit();
+    }
+  }
+  Out[W] = std::move(Merged);
+
+  // Concatenate var members so the class's growth keeps driving every
+  // merged variable's loads/stores/calls. A member that was itself a
+  // collapsed representative contributes its list (which includes its own
+  // SelfVar); a singleton contributes its flat SelfVar entry.
+  std::vector<VarRef> Vars;
+  for (uint32_t M : Members) {
+    if (!VarMembers[M].empty()) {
+      Vars.insert(Vars.end(), VarMembers[M].begin(), VarMembers[M].end());
+      VarMembers[M].clear();
+    } else if (SelfVar[M].V.isValid()) {
+      Vars.push_back(SelfVar[M]);
+    }
+  }
+  VarMembers[W] = std::move(Vars);
+
+  Pending[W] = std::move(All);
+  Queued[W] = !Pending[W].empty();
+
+  ++R.Stats.SCCsCollapsed;
+  R.Stats.NodesCollapsed += Members.size() - 1;
 }
 
-void Solver::processStaticCall(ContextId C, CallSiteId Site) {
-  const CallSiteInfo &CS = P.callSite(Site);
-  MethodId Callee = CS.Direct;
-  const MethodInfo &CalleeInfo = P.method(Callee);
-  ContextId CalleeCtx = Selector.selectStaticCallee(C, Site);
-  if (!R.CG.addEdge(C, Site, CalleeCtx, Callee))
-    return;
-  addReachable(CalleeCtx, Callee);
-  for (size_t I = 0; I < CS.Args.size() && I < CalleeInfo.Params.size(); ++I)
-    addEdge(varNode(C, CS.Args[I]), varNode(CalleeCtx, CalleeInfo.Params[I]));
-  if (CS.Result.isValid())
-    addEdge(varNode(CalleeCtx, CalleeInfo.Ret), varNode(C, CS.Result));
-  addEdge(varNode(CalleeCtx, CalleeInfo.Exc),
-          varNode(C, P.method(CS.Enclosing).Exc));
+void Solver::recondition() {
+  const uint32_t N = static_cast<uint32_t>(Out.size());
+
+  // Iterative Tarjan over the representative graph restricted to
+  // unfiltered copy edges. SCCs are emitted in reverse topological order
+  // of the condensation.
+  std::vector<int32_t> Index(N, -1);
+  std::vector<int32_t> Low(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  std::vector<std::vector<uint32_t>> Sccs;
+  struct Frame {
+    uint32_t Node;
+    uint32_t EdgeIdx;
+  };
+  std::vector<Frame> Frames;
+  int32_t Counter = 0;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (!Reps.isRep(Root) || Index[Root] >= 0)
+      continue;
+    Index[Root] = Low[Root] = Counter++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      uint32_t Cur = Frames.back().Node;
+      if (Frames.back().EdgeIdx < Out[Cur].size()) {
+        const Edge &E = Out[Cur][Frames.back().EdgeIdx++];
+        if (E.Filter.isValid())
+          continue;
+        uint32_t T = rep(E.Target.idx());
+        if (T == Cur)
+          continue;
+        if (Index[T] < 0) {
+          Index[T] = Low[T] = Counter++;
+          Stack.push_back(T);
+          OnStack[T] = 1;
+          Frames.push_back({T, 0}); // invalidates Frames.back(); loop re-reads
+        } else if (OnStack[T]) {
+          Low[Cur] = std::min(Low[Cur], Index[T]);
+        }
+        continue;
+      }
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[Cur]);
+      if (Low[Cur] == Index[Cur]) {
+        Sccs.emplace_back();
+        while (true) {
+          uint32_t M = Stack.back();
+          Stack.pop_back();
+          OnStack[M] = 0;
+          Sccs.back().push_back(M);
+          if (M == Cur)
+            break;
+        }
+      }
+    }
+  }
+
+  uint64_t CollapsedBefore = R.Stats.NodesCollapsed;
+  for (const std::vector<uint32_t> &Scc : Sccs)
+    if (Scc.size() > 1)
+      collapseScc(Scc);
+  // Adapt the wave-count trigger to what the pass actually found: a
+  // fruitless pass doubles the interval, a productive one resets it.
+  WaveTriggerInterval = R.Stats.NodesCollapsed == CollapsedBefore
+                            ? std::min<uint32_t>(WaveTriggerInterval * 2, 64)
+                            : 4;
+
+  // Reverse the emission order into a forward topological priority:
+  // sources get the smallest order so deltas sweep with the flow.
+  const uint32_t NumSccs = static_cast<uint32_t>(Sccs.size());
+  for (uint32_t I = 0; I < NumSccs; ++I)
+    Order[rep(Sccs[I].front())] = NumSccs - I;
+  NextFreshOrder = NumSccs + 1;
+
+  // Rebuild the dirty set under the new representatives, dropping entries
+  // that were collapsed away (run() sorts by the fresh Order).
+  NextWave.clear();
+  for (uint32_t I = 0; I < N; ++I)
+    if (Queued[I] && Reps.isRep(I))
+      NextWave.push_back(I);
+
+  EdgesAtLastPass = UnfilteredEdges;
+  WavesSinceRecondition = 0;
+  ConditionedOnce = true;
 }
 
-void Solver::addReachable(ContextId C, MethodId M) {
-  if (!ReachableCS.insert(R.CSM.csMethod(C, M).idx()).second)
-    return;
-  R.MethodCtxs[M.idx()].push_back(C);
-  R.ReachableMethod[M.idx()] = true;
-  const MethodInfo &MI = P.method(M);
-  for (const Stmt &S : MI.Body) {
-    switch (S.Kind) {
-    case StmtKind::Alloc: {
-      ObjId Rep = Heap.repr(S.Obj);
-      ContextId HCtx = Heap.isMerged(Rep) ? R.Ctxs.empty()
-                                          : Selector.selectHeap(C, Rep);
-      CSObjId O = R.CSM.csObj(HCtx, Rep);
-      if (O.idx() >= CSObjType.size())
-        CSObjType.resize(O.idx() + 1, TypeId());
-      CSObjType[O.idx()] = P.obj(Rep).Type;
-      PointsToSet Single;
-      Single.insert(O.idx());
-      addToWorklist(varNode(C, S.To), std::move(Single));
-      break;
-    }
-    case StmtKind::Copy:
-      addEdge(varNode(C, S.From), varNode(C, S.To));
-      break;
-    case StmtKind::AssignNull: {
-      PointsToSet Single;
-      Single.insert(CSNullObjRaw);
-      addToWorklist(varNode(C, S.To), std::move(Single));
-      break;
-    }
-    case StmtKind::StaticLoad:
-      addEdge(staticNode(S.Field), varNode(C, S.To));
-      break;
-    case StmtKind::StaticStore:
-      addEdge(varNode(C, S.From), staticNode(S.Field));
-      break;
-    case StmtKind::Cast: {
-      const CastSiteInfo &CS = P.castSite(S.CastIdx);
-      addEdge(varNode(C, CS.From), varNode(C, CS.To), CS.Target);
-      break;
-    }
-    case StmtKind::Return:
-      addEdge(varNode(C, S.From), varNode(C, MI.Ret));
-      break;
-    case StmtKind::Throw:
-      addEdge(varNode(C, S.From), varNode(C, MI.Exc));
-      break;
-    case StmtKind::Catch:
-      // Flow-insensitive: a catch observes every exception the method's
-      // $exc slot may hold, filtered by the caught type.
-      addEdge(varNode(C, MI.Exc), varNode(C, S.To), S.Type);
-      break;
-    case StmtKind::Invoke:
-      if (P.callSite(S.Site).Kind == CallKind::Static)
-        processStaticCall(C, S.Site);
-      // Virtual/special calls are driven by receiver growth (onVarGrowth).
-      break;
-    case StmtKind::Load:
-    case StmtKind::Store:
-      break; // driven by base-variable growth
-    }
+void Solver::flattenResult() {
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I) {
+    uint32_t Rep = rep(I);
+    if (Rep != I)
+      R.Pts[I] = R.Pts[Rep];
   }
 }
 
 bool Solver::run() {
   Timer Clock;
   // Ensure the null cs-object's type is recorded before any filtering.
-  if (CSNullObjRaw >= CSObjType.size())
-    CSObjType.resize(CSNullObjRaw + 1, TypeId());
-  CSObjType[CSNullObjRaw] = P.nullType();
+  registerCSObj(CSNullObjRaw, P.nullType());
 
   addReachable(R.Ctxs.empty(), P.entryMethod());
 
   uint64_t Pops = 0;
-  while (!Worklist.empty()) {
-    if ((++Pops & 0x1FFF) == 0 && TimeBudget > 0 &&
-        Clock.seconds() > TimeBudget) {
-      R.Stats.TimedOut = true;
+  std::vector<uint32_t> Wave;
+  while (!R.Stats.TimedOut) {
+    // Conditioning runs at wave boundaries: the graph is quiescent and
+    // the fresh topological order applies to the whole next sweep.
+    if (shouldRecondition())
+      recondition();
+    if (NextWave.empty())
       break;
+    ++WavesSinceRecondition;
+    Wave.swap(NextWave);
+    std::sort(Wave.begin(), Wave.end(), [this](uint32_t A, uint32_t B) {
+      return Order[A] != Order[B] ? Order[A] < Order[B] : A < B;
+    });
+    for (uint32_t N : Wave) {
+      if (!Queued[N] || !Reps.isRep(N))
+        continue; // stale: merged away, or re-listed by a conditioning pass
+      Queued[N] = 0;
+      if ((++Pops & 0x1FFF) == 0 && TimeBudget > 0 &&
+          Clock.seconds() > TimeBudget) {
+        R.Stats.TimedOut = true;
+        break;
+      }
+      PointsToSet Delta = std::move(Pending[N]);
+      Pending[N].clear();
+      propagate(N, Delta);
     }
-    PtrNodeId N = Worklist.front();
-    Worklist.pop_front();
-    Queued[N.idx()] = false;
-    PointsToSet Delta = std::move(Pending[N.idx()]);
-    Pending[N.idx()].clear();
-    propagate(N, Delta);
+    Wave.clear();
   }
+
+  // Record the engine's true working set before flattening duplicates the
+  // representative sets back onto class members.
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
+    R.Stats.SetBytes += R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
+  flattenResult();
 
   R.Stats.Seconds = Clock.seconds();
   R.Stats.WorklistPops = Pops;
-  R.Stats.NumContexts = R.Ctxs.size();
-  R.Stats.NumCSVars = R.CSM.numCSVars();
-  R.Stats.NumCSObjs = R.CSM.numCSObjs();
-  R.Stats.NumCSMethods = R.CSM.numCSMethods();
-  for (bool Reach : R.ReachableMethod)
-    R.Stats.NumReachableMethods += Reach;
-  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
-    if (PTAResult::kindOf(R.Nodes.get(PtrNodeId(I))) == PTAResult::KindVar)
-      R.Stats.VarPtsEntries += R.Pts[I].size();
+  finalizeStats();
   return !R.Stats.TimedOut;
 }

@@ -1,98 +1,137 @@
-//===-- pta/Solver.h - Worklist points-to solver --------------*- C++ -*-===//
+//===-- pta/Solver.h - Wave-propagation points-to solver ------*- C++ -*-===//
 //
 // Part of mahjong-cpp. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The worklist solver computing an Andersen-style, flow-insensitive,
-/// (optionally) context-sensitive points-to solution with an on-the-fly
-/// call graph — the standard fixpoint Doop's Datalog rules encode,
-/// implemented explicitly. One solver serves every analysis the paper
-/// evaluates; the context selector and heap abstraction are the only
-/// variation points.
+/// The wave-propagation engine computing an Andersen-style, flow-
+/// insensitive, (optionally) context-sensitive points-to solution with an
+/// on-the-fly call graph. Three optimizations over the retained textbook
+/// reference (NaiveSolver.h), all semantics-preserving:
+///
+///  - **Online cycle collapsing.** Copy-edge cycles are ubiquitous in
+///    Andersen constraint graphs; every node of a cycle converges to the
+///    same set, so propagating around it one delta at a time is wasted
+///    work. The engine periodically runs Tarjan SCC over the unfiltered
+///    copy edges of the collapsed graph and merges each multi-node SCC
+///    into one representative (support::DisjointSets): one points-to set,
+///    one pending delta, one outgoing edge list per class. Filtered
+///    (cast) edges never participate — a filter must stay on the edge.
+///
+///  - **Topology-aware scheduling.** The worklist is processed in
+///    *waves*: the dirty set is snapshotted, sorted by the (periodically
+///    recomputed) topological order of the collapsed graph, and swept
+///    once; nodes dirtied during the sweep form the next wave. Sorting
+///    makes deltas flow with the graph inside a wave, and the wave
+///    boundary preserves FIFO-style batching — a node is processed at
+///    most once per wave no matter how many deltas reach it, where a
+///    strict priority queue would reprocess a low-order node per delta.
+///
+///  - **Type-filter bitmaps.** Per filter type, a lazily built
+///    PointsToSet of all cs-objects whose type passes the filter turns a
+///    cast edge into one bitmap intersection instead of a per-element
+///    subtype test.
+///
+/// The representative contract: every access to Pts/Pending/Out/Queued
+/// must go through the class representative (rep()); member nodes retain
+/// their interned PtrNodeId, and run() flattens the final solution back
+/// onto every member so PTAResult is indistinguishable from the
+/// reference engine's (see tests/pta/SolverEquivalenceTest.cpp).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAHJONG_PTA_SOLVER_H
 #define MAHJONG_PTA_SOLVER_H
 
-#include "pta/PointerAnalysis.h"
+#include "pta/SolverCore.h"
+#include "support/DisjointSets.h"
 
-#include <deque>
-#include <unordered_set>
+#include <unordered_map>
 
 namespace mahjong::pta {
 
-/// One fixpoint computation. Construct, call run(), read the PTAResult.
-class Solver {
+/// The default fixpoint engine (SolverEngine::Wave).
+class Solver final : public SolverCore {
 public:
-  Solver(const ir::Program &P, const ir::ClassHierarchy &CH,
-         const HeapAbstraction &Heap, ContextSelector &Selector,
-         PTAResult &R, double TimeBudgetSeconds);
+  using SolverCore::SolverCore;
 
-  /// Runs to fixpoint. \returns false if the time budget was exhausted.
-  bool run();
+  bool run() override;
 
 private:
-  // --- Pointer-flow graph ---
   struct Edge {
-    PtrNodeId Target;
-    TypeId Filter; ///< cast target; invalid = unfiltered
+    PtrNodeId Target; ///< re-resolved through rep() at firing time
+    TypeId Filter;    ///< cast target; invalid = unfiltered
   };
 
-  PtrNodeId node(uint64_t Key);
-  PtrNodeId varNode(ContextId C, VarId V);
-  PtrNodeId fieldNode(CSObjId O, FieldId F);
-  PtrNodeId staticNode(FieldId F);
+  void ensureNodeStorage(uint32_t Idx) override;
+  void addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) override;
+  void seedDelta(PtrNodeId N, PointsToSet &&Delta) override;
+  void registerCSObj(uint32_t CSObjRaw, TypeId T) override;
 
-  /// Adds the PFG edge Src -> Dst (deduplicated) and seeds Dst with Src's
-  /// current points-to set.
-  void addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter = TypeId());
+  /// Representative of \p Idx's collapsed class (path-compressing).
+  uint32_t rep(uint32_t Idx) { return Reps.find(Idx); }
 
-  void addToWorklist(PtrNodeId N, PointsToSet Delta);
+  /// Merges \p Delta into representative \p N's pending set and marks it
+  /// dirty for the next wave (or later in the current one if still
+  /// unprocessed there).
+  void enqueue(uint32_t N, const PointsToSet &Delta);
 
-  /// Merges \p Delta into \p N and forwards the growth along edges; var
-  /// nodes additionally trigger load/store/call processing.
-  void propagate(PtrNodeId N, const PointsToSet &Delta);
+  void propagate(uint32_t N, const PointsToSet &Delta);
 
-  PointsToSet applyFilter(const PointsToSet &Set, TypeId Filter) const;
+  /// Bitmap of all cs-objects passing \p Filter, built on first use.
+  const PointsToSet &filterBitmap(TypeId Filter);
+  PointsToSet filtered(const PointsToSet &Set, TypeId Filter);
 
-  // --- Reachability and statement processing ---
-  void addReachable(ContextId C, MethodId M);
-  void processStaticCall(ContextId C, CallSiteId Site);
-  void onVarGrowth(ContextId C, VarId V, const PointsToSet &Delta);
-  void processCallOnRecv(ContextId C, CallSiteId Site, uint32_t CSObjRaw);
+  /// True when enough new copy edges accumulated to justify a pass.
+  bool shouldRecondition() const;
 
-  MethodId dispatch(TypeId RecvType, CallSiteId Site);
+  /// One wave-conditioning pass: Tarjan SCC over unfiltered copy edges of
+  /// the representative graph, collapse of every multi-node SCC, fresh
+  /// topological order, worklist rebuild.
+  void recondition();
+  void collapseScc(const std::vector<uint32_t> &Members);
 
-  const ir::Program &P;
-  const ir::ClassHierarchy &CH;
-  const HeapAbstraction &Heap;
-  ContextSelector &Selector;
-  PTAResult &R;
-  double TimeBudget;
+  /// Copies every representative's final set onto its members, making
+  /// R.Pts identical to what the reference engine produces.
+  void flattenResult();
 
-  /// Per-variable structural usage (loads/stores/calls with this base),
-  /// built once up front.
-  struct VarUsage {
-    std::vector<const ir::Stmt *> Loads;
-    std::vector<const ir::Stmt *> Stores;
-    std::vector<CallSiteId> Calls;
+  // --- Per-node state (indexed by PtrNodeId; authoritative only at
+  // representatives once classes merge) ---
+  std::vector<std::vector<Edge>> Out;
+  std::unordered_set<uint64_t> EdgeDedup; ///< packed (repSrc, repDst)
+  std::vector<PointsToSet> Pending;
+  std::vector<uint8_t> Queued;
+  std::vector<uint32_t> Order; ///< topological priority (smaller = earlier)
+  /// A var node's identity pre-decoded to (context, var): growth of the
+  /// node's class must trigger load/store/call processing for every
+  /// merged var, and decoding once at node birth keeps the hot growth
+  /// loop free of NodeTable/CSManager lookups. An invalid V marks nodes
+  /// with no growth handlers (field/static nodes, vars never used as a
+  /// load/store/call base).
+  struct VarRef {
+    ContextId C;
+    VarId V;
   };
-  std::vector<VarUsage> Usage;
+  std::vector<VarRef> SelfVar;
+  /// Concatenated member refs, populated only at collapsed-class
+  /// representatives (including the rep's own SelfVar); empty everywhere
+  /// else, so singleton nodes never pay a per-node vector allocation.
+  std::vector<std::vector<VarRef>> VarMembers;
+  DisjointSets Reps;
 
-  std::vector<std::vector<Edge>> Out;     ///< indexed by PtrNodeId
-  std::unordered_set<uint64_t> EdgeDedup; ///< packed (src, dst), unfiltered
-  // Coalescing worklist: one pending delta per node, so bursts of tiny
-  // deltas through hub nodes merge before they are propagated.
-  std::vector<PointsToSet> Pending; ///< indexed by PtrNodeId
-  std::vector<bool> Queued;         ///< indexed by PtrNodeId
-  std::deque<PtrNodeId> Worklist;
-  std::unordered_set<uint32_t> ReachableCS; ///< CSMethodId raw values
-  std::unordered_map<uint64_t, MethodId> DispatchCache;
-  std::vector<TypeId> CSObjType; ///< type per CSObjId, grown lazily
-  uint32_t CSNullObjRaw = 0;
+  /// Dirty nodes awaiting the next wave. run() swaps this out, sorts by
+  /// Order, and sweeps; stale entries (collapsed or already-processed
+  /// nodes) are dropped at visit time via Queued/rep checks.
+  std::vector<uint32_t> NextWave;
+
+  std::unordered_map<uint32_t, PointsToSet> FilterObjs; ///< by TypeId raw
+  uint32_t NextFreshOrder = 0; ///< order for nodes born after the last pass
+  uint64_t UnfilteredEdges = 0;
+  uint64_t EdgesAtLastPass = 0;
+  uint32_t WavesSinceRecondition = 0;
+  uint32_t WaveTriggerInterval = 4; ///< adaptive: doubles on fruitless passes
+  bool ConditionedOnce = false;
 };
 
 } // namespace mahjong::pta

@@ -1,0 +1,252 @@
+//===-- pta/SolverCore.cpp - Shared solver statement machinery --------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/SolverCore.h"
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::pta;
+
+SolverCore::SolverCore(const Program &P, const ClassHierarchy &CH,
+                       const HeapAbstraction &Heap, ContextSelector &Selector,
+                       PTAResult &R, double TimeBudgetSeconds)
+    : P(P), CH(CH), Heap(Heap), Selector(Selector), R(R),
+      TimeBudget(TimeBudgetSeconds), Usage(P.numVars()) {
+  // Build the structural per-variable usage index once: which loads,
+  // stores and calls dereference each variable as their base.
+  for (uint32_t MIdx = 0; MIdx < P.numMethods(); ++MIdx) {
+    for (const Stmt &S : P.method(MethodId(MIdx)).Body) {
+      switch (S.Kind) {
+      case StmtKind::Load:
+        Usage[S.Base.idx()].Loads.push_back(&S);
+        break;
+      case StmtKind::Store:
+        Usage[S.Base.idx()].Stores.push_back(&S);
+        break;
+      case StmtKind::Invoke: {
+        const CallSiteInfo &CS = P.callSite(S.Site);
+        if (CS.Kind != CallKind::Static)
+          Usage[CS.Base.idx()].Calls.push_back(S.Site);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  // The context-insensitive null object exists in every run. Its type is
+  // registered at the start of run() — registerCSObj is virtual and must
+  // not be dispatched from the constructor.
+  CSNullObjRaw = R.CSM.csObj(R.Ctxs.empty(), Program::nullObj()).idx();
+}
+
+void SolverCore::registerCSObj(uint32_t CSObjRaw, TypeId T) {
+  if (CSObjRaw >= CSObjType.size()) {
+    if (CSObjRaw >= CSObjType.capacity())
+      CSObjType.reserve(
+          std::max<size_t>(CSObjRaw + 1, CSObjType.capacity() * 2));
+    CSObjType.resize(CSObjRaw + 1, TypeId());
+  }
+  CSObjType[CSObjRaw] = T;
+}
+
+PtrNodeId SolverCore::node(uint64_t Key) {
+  PtrNodeId N = R.Nodes.intern(Key);
+  ensureNodeStorage(N.idx());
+  return N;
+}
+
+PtrNodeId SolverCore::varNode(ContextId C, VarId V) {
+  return node(PTAResult::varKey(R.CSM.csVar(C, V)));
+}
+
+PtrNodeId SolverCore::fieldNode(CSObjId O, FieldId F) {
+  return node(PTAResult::fieldKey(O, F));
+}
+
+PtrNodeId SolverCore::staticNode(FieldId F) {
+  return node(PTAResult::staticKey(F));
+}
+
+MethodId SolverCore::dispatch(TypeId RecvType, CallSiteId Site) {
+  uint64_t Key = (static_cast<uint64_t>(RecvType.idx()) << 32) | Site.idx();
+  auto It = DispatchCache.find(Key);
+  if (It != DispatchCache.end())
+    return It->second;
+  const CallSiteInfo &CS = P.callSite(Site);
+  MethodId Callee = CS.Kind == CallKind::Virtual
+                        ? CH.resolveVirtual(RecvType, CS.Sig)
+                        : CS.Direct;
+  DispatchCache.emplace(Key, Callee);
+  return Callee;
+}
+
+void SolverCore::processCallsOnDelta(ContextId C, CallSiteId Site,
+                                     const PointsToSet &Delta) {
+  // Phase 1: dispatch each new receiver and bucket it by its (callee,
+  // callee-context) pair. Context-insensitive and type-sensitive runs
+  // funnel thousands of receivers into a handful of groups; fully
+  // object-sensitive runs degenerate to one group per receiver, which
+  // costs no more than per-receiver processing did.
+  BindGroups.clear();
+  BindIndex.clear();
+  uint32_t LastGroup = UINT32_MAX;
+  uint64_t LastKey = ~0ull;
+  for (uint32_t Raw : Delta) {
+    if (Raw == CSNullObjRaw)
+      continue; // calls on null never dispatch
+    auto [HCtx, RecvObj] = R.CSM.objOf(CSObjId(Raw));
+    MethodId Callee = dispatch(P.obj(RecvObj).Type, Site);
+    if (!Callee.isValid())
+      continue;
+    ContextId CalleeCtx = Selector.selectCallee(C, Site, HCtx, RecvObj);
+    uint64_t Key =
+        (static_cast<uint64_t>(Callee.idx()) << 32) | CalleeCtx.idx();
+    if (Key != LastKey) {
+      LastKey = Key;
+      auto [It, Inserted] =
+          BindIndex.try_emplace(Key, static_cast<uint32_t>(BindGroups.size()));
+      if (Inserted)
+        BindGroups.push_back({Callee, CalleeCtx, {}});
+      LastGroup = It->second;
+    }
+    BindGroups[LastGroup].Recvs.insert(Raw);
+  }
+  // Phase 2: one this-binding, call-graph edge and arg/ret wiring per
+  // group. Every receiver of the group must flow into 'this' even when
+  // the call-graph edge already existed.
+  const CallSiteInfo &CS = P.callSite(Site);
+  for (BindGroup &G : BindGroups) {
+    const MethodInfo &CalleeInfo = P.method(G.Callee);
+    seedDelta(varNode(G.Ctx, CalleeInfo.This), std::move(G.Recvs));
+    if (!R.CG.addEdge(C, Site, G.Ctx, G.Callee))
+      continue;
+    addReachable(G.Ctx, G.Callee);
+    for (size_t I = 0; I < CS.Args.size() && I < CalleeInfo.Params.size();
+         ++I)
+      addEdge(varNode(C, CS.Args[I]), varNode(G.Ctx, CalleeInfo.Params[I]));
+    if (CS.Result.isValid())
+      addEdge(varNode(G.Ctx, CalleeInfo.Ret), varNode(C, CS.Result));
+    // Exceptions escaping the callee may propagate to the caller
+    // (conservatively also when caught; see MethodInfo::Exc).
+    addEdge(varNode(G.Ctx, CalleeInfo.Exc),
+            varNode(C, P.method(CS.Enclosing).Exc));
+  }
+}
+
+void SolverCore::onVarGrowth(ContextId C, VarId V, const PointsToSet &Delta) {
+  const VarUsage &U = Usage[V.idx()];
+  for (const Stmt *S : U.Loads) {
+    PtrNodeId To = varNode(C, S->To);
+    for (uint32_t Raw : Delta) {
+      if (Raw == CSNullObjRaw)
+        continue; // no fields on null
+      addEdge(fieldNode(CSObjId(Raw), S->Field), To);
+    }
+  }
+  for (const Stmt *S : U.Stores) {
+    PtrNodeId From = varNode(C, S->From);
+    for (uint32_t Raw : Delta) {
+      if (Raw == CSNullObjRaw)
+        continue;
+      addEdge(From, fieldNode(CSObjId(Raw), S->Field));
+    }
+  }
+  for (CallSiteId Site : U.Calls)
+    processCallsOnDelta(C, Site, Delta);
+}
+
+void SolverCore::processStaticCall(ContextId C, CallSiteId Site) {
+  const CallSiteInfo &CS = P.callSite(Site);
+  MethodId Callee = CS.Direct;
+  const MethodInfo &CalleeInfo = P.method(Callee);
+  ContextId CalleeCtx = Selector.selectStaticCallee(C, Site);
+  if (!R.CG.addEdge(C, Site, CalleeCtx, Callee))
+    return;
+  addReachable(CalleeCtx, Callee);
+  for (size_t I = 0; I < CS.Args.size() && I < CalleeInfo.Params.size(); ++I)
+    addEdge(varNode(C, CS.Args[I]), varNode(CalleeCtx, CalleeInfo.Params[I]));
+  if (CS.Result.isValid())
+    addEdge(varNode(CalleeCtx, CalleeInfo.Ret), varNode(C, CS.Result));
+  addEdge(varNode(CalleeCtx, CalleeInfo.Exc),
+          varNode(C, P.method(CS.Enclosing).Exc));
+}
+
+void SolverCore::addReachable(ContextId C, MethodId M) {
+  if (!ReachableCS.insert(R.CSM.csMethod(C, M).idx()).second)
+    return;
+  R.MethodCtxs[M.idx()].push_back(C);
+  R.ReachableMethod[M.idx()] = true;
+  const MethodInfo &MI = P.method(M);
+  for (const Stmt &S : MI.Body) {
+    switch (S.Kind) {
+    case StmtKind::Alloc: {
+      ObjId Rep = Heap.repr(S.Obj);
+      ContextId HCtx = Heap.isMerged(Rep) ? R.Ctxs.empty()
+                                          : Selector.selectHeap(C, Rep);
+      CSObjId O = R.CSM.csObj(HCtx, Rep);
+      registerCSObj(O.idx(), P.obj(Rep).Type);
+      PointsToSet Single;
+      Single.insert(O.idx());
+      seedDelta(varNode(C, S.To), std::move(Single));
+      break;
+    }
+    case StmtKind::Copy:
+      addEdge(varNode(C, S.From), varNode(C, S.To));
+      break;
+    case StmtKind::AssignNull: {
+      PointsToSet Single;
+      Single.insert(CSNullObjRaw);
+      seedDelta(varNode(C, S.To), std::move(Single));
+      break;
+    }
+    case StmtKind::StaticLoad:
+      addEdge(staticNode(S.Field), varNode(C, S.To));
+      break;
+    case StmtKind::StaticStore:
+      addEdge(varNode(C, S.From), staticNode(S.Field));
+      break;
+    case StmtKind::Cast: {
+      const CastSiteInfo &CS = P.castSite(S.CastIdx);
+      addEdge(varNode(C, CS.From), varNode(C, CS.To), CS.Target);
+      break;
+    }
+    case StmtKind::Return:
+      addEdge(varNode(C, S.From), varNode(C, MI.Ret));
+      break;
+    case StmtKind::Throw:
+      addEdge(varNode(C, S.From), varNode(C, MI.Exc));
+      break;
+    case StmtKind::Catch:
+      // Flow-insensitive: a catch observes every exception the method's
+      // $exc slot may hold, filtered by the caught type.
+      addEdge(varNode(C, MI.Exc), varNode(C, S.To), S.Type);
+      break;
+    case StmtKind::Invoke:
+      if (P.callSite(S.Site).Kind == CallKind::Static)
+        processStaticCall(C, S.Site);
+      // Virtual/special calls are driven by receiver growth (onVarGrowth).
+      break;
+    case StmtKind::Load:
+    case StmtKind::Store:
+      break; // driven by base-variable growth
+    }
+  }
+}
+
+void SolverCore::finalizeStats() {
+  R.Stats.NumContexts = R.Ctxs.size();
+  R.Stats.NumCSVars = R.CSM.numCSVars();
+  R.Stats.NumCSObjs = R.CSM.numCSObjs();
+  R.Stats.NumCSMethods = R.CSM.numCSMethods();
+  for (bool Reach : R.ReachableMethod)
+    R.Stats.NumReachableMethods += Reach;
+  // SetBytes is engine-owned: each engine records its own working set
+  // (the wave engine measures before flattening representatives).
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
+    if (PTAResult::kindOf(R.Nodes.get(PtrNodeId(I))) == PTAResult::KindVar)
+      R.Stats.VarPtsEntries += R.Pts[I].size();
+}

@@ -1,0 +1,119 @@
+//===-- pta/SolverCore.h - Shared solver statement machinery --*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-independent half of the points-to solver: reachability,
+/// statement expansion, virtual dispatch, and on-the-fly call processing.
+/// Both propagation engines — the wave engine (Solver.h) and the retained
+/// textbook reference (NaiveSolver.h) — derive from this core and supply
+/// storage, edge management and scheduling through the virtual hooks, so
+/// any semantic difference between the two engines can only come from the
+/// propagation core itself, which is exactly what the differential tests
+/// compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_SOLVERCORE_H
+#define MAHJONG_PTA_SOLVERCORE_H
+
+#include "pta/PointerAnalysis.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mahjong::pta {
+
+/// One fixpoint computation. Construct an engine, call run(), read the
+/// PTAResult.
+class SolverCore {
+public:
+  SolverCore(const ir::Program &P, const ir::ClassHierarchy &CH,
+             const HeapAbstraction &Heap, ContextSelector &Selector,
+             PTAResult &R, double TimeBudgetSeconds);
+  virtual ~SolverCore() = default;
+
+  /// Runs to fixpoint. \returns false if the time budget was exhausted.
+  virtual bool run() = 0;
+
+protected:
+  // --- Engine hooks ---
+
+  /// Grows the engine's per-node arrays (and R.Pts) to cover index \p Idx.
+  virtual void ensureNodeStorage(uint32_t Idx) = 0;
+
+  /// Adds the PFG edge Src -> Dst (deduplicated) and seeds Dst with Src's
+  /// current points-to set.
+  virtual void addEdge(PtrNodeId Src, PtrNodeId Dst,
+                       TypeId Filter = TypeId()) = 0;
+
+  /// Injects \p Delta into node \p N: allocation seeds, null seeds and
+  /// receiver binding.
+  virtual void seedDelta(PtrNodeId N, PointsToSet &&Delta) = 0;
+
+  /// Records a newly interned cs-object and its dynamic type. The wave
+  /// engine extends this to keep the type-filter bitmaps current.
+  virtual void registerCSObj(uint32_t CSObjRaw, TypeId T);
+
+  // --- Shared services ---
+
+  PtrNodeId node(uint64_t Key);
+  PtrNodeId varNode(ContextId C, VarId V);
+  PtrNodeId fieldNode(CSObjId O, FieldId F);
+  PtrNodeId staticNode(FieldId F);
+
+  void addReachable(ContextId C, MethodId M);
+  void processStaticCall(ContextId C, CallSiteId Site);
+  void onVarGrowth(ContextId C, VarId V, const PointsToSet &Delta);
+
+  /// Dispatches every new receiver of \p Site in \p Delta, grouping the
+  /// receivers by (callee, callee-context) so each group pays for the
+  /// this-binding, call-graph edge and arg/ret wiring once instead of
+  /// once per receiver object.
+  void processCallsOnDelta(ContextId C, CallSiteId Site,
+                           const PointsToSet &Delta);
+  MethodId dispatch(TypeId RecvType, CallSiteId Site);
+
+  /// Fills the engine-independent PTAStats counters (contexts, cs
+  /// entities, reachability, var-pts volume, set bytes).
+  void finalizeStats();
+
+  const ir::Program &P;
+  const ir::ClassHierarchy &CH;
+  const HeapAbstraction &Heap;
+  ContextSelector &Selector;
+  PTAResult &R;
+  double TimeBudget;
+
+  /// Per-variable structural usage (loads/stores/calls with this base),
+  /// built once up front.
+  struct VarUsage {
+    std::vector<const ir::Stmt *> Loads;
+    std::vector<const ir::Stmt *> Stores;
+    std::vector<CallSiteId> Calls;
+  };
+  std::vector<VarUsage> Usage;
+
+  std::unordered_set<uint32_t> ReachableCS; ///< CSMethodId raw values
+  std::unordered_map<uint64_t, MethodId> DispatchCache;
+
+  /// Scratch state of processCallsOnDelta, kept as members so the maps'
+  /// bucket arrays survive across calls (the function is not reentrant:
+  /// nothing downstream of it re-enters call processing).
+  struct BindGroup {
+    MethodId Callee;
+    ContextId Ctx;
+    PointsToSet Recvs;
+  };
+  std::vector<BindGroup> BindGroups;
+  std::unordered_map<uint64_t, uint32_t> BindIndex; ///< (callee,ctx) -> idx
+  std::vector<TypeId> CSObjType; ///< type per CSObjId, grown lazily
+  uint32_t CSNullObjRaw = 0;
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_SOLVERCORE_H

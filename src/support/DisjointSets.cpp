@@ -22,7 +22,13 @@ void DisjointSets::grow(uint32_t NewSize) {
   NumSets += NewSize - Old;
 }
 
-uint32_t DisjointSets::find(uint32_t X) {
+void DisjointSets::reserve(uint32_t Capacity) {
+  Parent.reserve(Capacity);
+  Rank.reserve(Capacity);
+  Size.reserve(Capacity);
+}
+
+uint32_t DisjointSets::findSlow(uint32_t X) {
   assert(X < Parent.size() && "element out of range");
   // Iterative two-pass path compression: find the root, then repoint every
   // node on the path directly at it.

@@ -29,11 +29,28 @@ public:
   /// Extends the universe to [0, Size); new elements are singletons.
   void grow(uint32_t Size);
 
+  /// Pre-allocates capacity for \p Capacity elements without changing the
+  /// universe, so interleaved one-at-a-time grow() calls don't reallocate
+  /// the three backing arrays per element.
+  void reserve(uint32_t Capacity);
+
+  /// \returns true if \p X is currently the representative of its set.
+  bool isRep(uint32_t X) const { return Parent[X] == X; }
+
   uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
 
   /// Returns the representative of the set containing \p X, compressing the
-  /// path along the way.
-  uint32_t find(uint32_t X);
+  /// path along the way. Defined inline: solvers call this on every edge
+  /// touch, and the overwhelmingly common singleton/compressed case is a
+  /// single load-compare.
+  uint32_t find(uint32_t X) {
+    uint32_t P = Parent[X];
+    if (P == X)
+      return X;
+    if (Parent[P] == P)
+      return P;
+    return findSlow(X);
+  }
 
   /// Unites the sets containing \p X and \p Y by rank.
   ///
@@ -50,6 +67,9 @@ public:
   uint32_t numSets() const { return NumSets; }
 
 private:
+  /// The ≥2-hop case of find(): root search + path compression.
+  uint32_t findSlow(uint32_t X);
+
   std::vector<uint32_t> Parent;
   std::vector<uint8_t> Rank;
   std::vector<uint32_t> Size;

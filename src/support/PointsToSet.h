@@ -60,8 +60,16 @@ public:
   }
 
   /// Unions \p Other into this set. \returns true if the set changed.
-  /// A union that adds nothing — the common case once a solver reaches
-  /// its fixpoint — is a pure merge-join scan: it allocates nothing.
+  ///
+  /// Cost is bounded by the *window* of this set at or above Other's
+  /// first chunk index, never by the whole set: solver deltas carry
+  /// overwhelmingly recently interned (= high) ids, so a delivery into a
+  /// large accumulated set touches its tail, not its body. A union that
+  /// adds nothing — the common case once a solver reaches its fixpoint —
+  /// is a pure merge-join scan of that window and allocates nothing; a
+  /// union that only sets bits in existing chunks ORs them in place; only
+  /// genuinely new chunks shift the window right (backward in-place
+  /// merge, amortized by vector capacity doubling).
   bool unionWith(const PointsToSet &Other) {
     if (Other.empty())
       return false;
@@ -75,54 +83,118 @@ public:
       Count += Other.Count;
       return true;
     }
-    // Pre-scan: walk the join until Other contributes its first new bit.
-    // If it never does, the union is a no-op and we are done without
-    // having materialized anything.
-    size_t I = 0, J = 0;
+    // Everything below Other's first chunk index is untouched by the join.
+    size_t Lo = static_cast<size_t>(lowerBound(Other.Chunks.front().Index) -
+                                    Chunks.begin());
+    // Pre-scan the window: does Other contribute any new bit, and how
+    // many chunks does it add that we lack entirely?
+    size_t I = Lo, J = 0, NewChunks = 0;
     bool Changed = false;
     while (J < Other.Chunks.size()) {
       if (I >= Chunks.size() || Other.Chunks[J].Index < Chunks[I].Index) {
-        Changed = true; // a chunk we lack entirely
-        break;
-      }
-      if (Chunks[I].Index < Other.Chunks[J].Index) {
+        ++NewChunks;
+        ++J;
+        Changed = true;
+      } else if (Chunks[I].Index < Other.Chunks[J].Index) {
         ++I;
-        continue;
-      }
-      if (Other.Chunks[J].Word & ~Chunks[I].Word) {
-        Changed = true; // new bits inside a shared chunk
-        break;
-      }
-      ++I;
-      ++J;
-    }
-    if (!Changed)
-      return false;
-    // Something new exists: now the merge allocation is justified. The
-    // prefix up to (I, J) is already known to carry nothing new, but
-    // re-merging it keeps the join trivially correct.
-    std::vector<Chunk> Merged;
-    Merged.reserve(Chunks.size() + Other.Chunks.size());
-    I = 0;
-    J = 0;
-    while (I < Chunks.size() || J < Other.Chunks.size()) {
-      if (J >= Other.Chunks.size() ||
-          (I < Chunks.size() && Chunks[I].Index < Other.Chunks[J].Index)) {
-        Merged.push_back(Chunks[I++]);
-      } else if (I >= Chunks.size() ||
-                 Other.Chunks[J].Index < Chunks[I].Index) {
-        Merged.push_back(Other.Chunks[J++]);
-        Count += std::popcount(Merged.back().Word);
       } else {
-        uint64_t Added = Other.Chunks[J].Word & ~Chunks[I].Word;
-        Count += std::popcount(Added);
-        Merged.push_back({Chunks[I].Index, Chunks[I].Word | Added});
+        Changed |= (Other.Chunks[J].Word & ~Chunks[I].Word) != 0;
         ++I;
         ++J;
       }
     }
-    Chunks = std::move(Merged);
+    if (!Changed)
+      return false;
+    if (NewChunks == 0) {
+      // Bits land only in chunks we already have: OR them in, in place.
+      I = Lo;
+      for (const Chunk &C : Other.Chunks) {
+        while (Chunks[I].Index < C.Index)
+          ++I;
+        uint64_t Added = C.Word & ~Chunks[I].Word;
+        Chunks[I].Word |= Added;
+        Count += std::popcount(Added);
+        ++I;
+      }
+      return true;
+    }
+    // Backward in-place merge. When the delta is exhausted the write and
+    // read cursors have met (every slot above came from a move, a merge,
+    // or one of the NewChunks inserts), so the prefix [Lo, Ri) is already
+    // in its final position and the merge stops at the window, not at the
+    // start of the array.
+    size_t OldSize = Chunks.size();
+    Chunks.resize(OldSize + NewChunks);
+    size_t W = Chunks.size(), Ri = OldSize;
+    J = Other.Chunks.size();
+    while (J > 0) {
+      if (Ri > Lo && Chunks[Ri - 1].Index > Other.Chunks[J - 1].Index) {
+        Chunks[--W] = Chunks[--Ri];
+      } else if (Ri > Lo &&
+                 Chunks[Ri - 1].Index == Other.Chunks[J - 1].Index) {
+        uint64_t Added = Other.Chunks[J - 1].Word & ~Chunks[Ri - 1].Word;
+        Count += std::popcount(Added);
+        --W;
+        --Ri;
+        --J;
+        Chunks[W] = {Chunks[Ri].Index, Chunks[Ri].Word | Added};
+      } else {
+        --W;
+        --J;
+        Chunks[W] = Other.Chunks[J];
+        Count += std::popcount(Chunks[W].Word);
+      }
+    }
     return true;
+  }
+
+  /// Intersects this set with \p Other in place. Like unionWith, a
+  /// merge-join over the chunk arrays; allocates nothing (chunks are
+  /// compacted in place).
+  void intersectWith(const PointsToSet &Other) {
+    if (empty())
+      return;
+    if (Other.empty()) {
+      clear();
+      return;
+    }
+    size_t Kept = 0, J = 0;
+    size_t NewCount = 0;
+    for (size_t I = 0; I < Chunks.size(); ++I) {
+      while (J < Other.Chunks.size() &&
+             Other.Chunks[J].Index < Chunks[I].Index)
+        ++J;
+      if (J >= Other.Chunks.size())
+        break;
+      if (Other.Chunks[J].Index != Chunks[I].Index)
+        continue;
+      uint64_t Word = Chunks[I].Word & Other.Chunks[J].Word;
+      if (Word) {
+        Chunks[Kept++] = {Chunks[I].Index, Word};
+        NewCount += std::popcount(Word);
+      }
+    }
+    Chunks.resize(Kept);
+    Count = NewCount;
+  }
+
+  /// \returns true if this set and \p Other share at least one element.
+  /// A merge-join scan with early exit; never allocates.
+  bool anyCommon(const PointsToSet &Other) const {
+    size_t I = 0, J = 0;
+    while (I < Chunks.size() && J < Other.Chunks.size()) {
+      if (Chunks[I].Index < Other.Chunks[J].Index)
+        ++I;
+      else if (Other.Chunks[J].Index < Chunks[I].Index)
+        ++J;
+      else if (Chunks[I].Word & Other.Chunks[J].Word)
+        return true;
+      else {
+        ++I;
+        ++J;
+      }
+    }
+    return false;
   }
 
   /// Computes \p Other minus this set (the elements of Other we lack).
@@ -145,6 +217,10 @@ public:
 
   bool empty() const { return Chunks.empty(); }
   size_t size() const { return Count; }
+
+  /// Heap bytes owned by this set (capacity, not just live chunks) —
+  /// the unit of the solver's peak-set-bytes statistic.
+  size_t memoryBytes() const { return Chunks.capacity() * sizeof(Chunk); }
   void clear() {
     Chunks.clear();
     Count = 0;

@@ -32,6 +32,11 @@ struct Profile {
   unsigned PollutedPerMille;
   unsigned ElemChainPerMille;
   unsigned UtilChains;
+  unsigned FluentPerMille;
+  unsigned AliasRing;
+  unsigned BusHandlers;
+  unsigned BusTaps;
+  unsigned BusSpread;
 };
 
 // Sizes follow the relative ordering of the paper's programs: luindex is
@@ -42,19 +47,19 @@ struct Profile {
 // unmergeable, which is what makes the three never-scalable programs
 // expensive even for MAHJONG-based 3obj.
 const Profile Profiles[] = {
-    // name       Mod Box Eng Elm Wrp Buf  D Fam BK UK  mix poll chain util
-    {"antlr",     180,  8, 10, 24,  3,  5, 2,  4, 3, 2,  40,  10, 870, 2},
-    {"fop",       220,  8, 12, 26,  4,  5, 2,  5, 3, 2,  50,  10, 870, 2},
-    {"luindex",   120,  7,  8, 20,  3,  5, 2,  4, 3, 2,  40,  10, 870, 2},
-    {"lusearch",  140,  7,  9, 20,  3,  5, 2,  4, 3, 2,  40,  10, 870, 2},
-    {"chart",     760, 10, 26, 55,  5,  6, 3,  6, 4, 3,  60,  25, 870, 3},
-    {"checkstyle",700, 10, 26, 55,  5,  6, 3,  6, 4, 3,  60,  25, 870, 3},
-    {"findbugs",  820, 10, 28, 60,  5,  6, 3,  6, 4, 3,  70,  25, 870, 3},
-    {"pmd",       780, 10, 28, 60,  6,  6, 3,  6, 4, 3,  60,  25, 870, 3},
-    {"xalan",     720, 11, 26, 55,  5,  6, 3,  6, 4, 3,  60,  25, 870, 3},
-    {"bloat",     900, 12, 36, 80,  7,  7, 3,  7, 5, 3, 180, 750, 900, 3},
-    {"eclipse",  1000, 12, 40, 85,  8,  7, 3,  8, 5, 3, 200, 800, 900, 4},
-    {"jpc",       950, 12, 38, 80,  7,  7, 3,  7, 5, 3, 190, 770, 900, 3},
+    // name       Mod Box Eng Elm Wrp Buf  D Fam BK UK  mix poll chain util flu ring bh bt spr
+    {"antlr",     180,  8, 10, 24,  3,  5, 2,  4, 3, 2,  40,  10, 870, 2, 400,  5, 1, 1,  8},
+    {"fop",       220,  8, 12, 26,  4,  5, 2,  5, 3, 2,  50,  10, 870, 2, 400,  5, 1, 1,  8},
+    {"luindex",   120,  7,  8, 20,  3,  5, 2,  4, 3, 2,  40,  10, 870, 2, 350,  4, 1, 1,  8},
+    {"lusearch",  140,  7,  9, 20,  3,  5, 2,  4, 3, 2,  40,  10, 870, 2, 350,  4, 1, 1,  8},
+    {"chart",     760, 10, 26, 55,  5,  6, 3,  6, 4, 3,  60,  25, 870, 3, 500,  6, 1, 2, 16},
+    {"checkstyle",700, 10, 26, 55,  5,  6, 3,  6, 4, 3,  60,  25, 870, 3, 500,  6, 1, 2, 16},
+    {"findbugs",  820, 10, 28, 60,  5,  6, 3,  6, 4, 3,  70,  25, 870, 3, 550,  6, 1, 2, 16},
+    {"pmd",       780, 10, 28, 60,  6,  6, 3,  6, 4, 3,  60,  25, 870, 3, 500,  6, 1, 2, 16},
+    {"xalan",     720, 11, 26, 55,  5,  6, 3,  6, 4, 3,  60,  25, 870, 3, 500,  6, 1, 2, 16},
+    {"bloat",     900, 12, 36, 80,  7,  7, 3,  7, 5, 3, 180, 750, 900, 3, 650,  8, 2, 3, 32},
+    {"eclipse",  1000, 12, 40, 85,  8,  7, 3,  8, 5, 3, 200, 800, 900, 4, 700, 24, 4, 14, 96},
+    {"jpc",       950, 12, 38, 80,  7,  7, 3,  7, 5, 3, 190, 770, 900, 3, 650,  8, 2, 3, 32},
 };
 } // namespace
 
@@ -92,6 +97,12 @@ WorkloadSpec mahjong::workload::benchmarkSpec(const std::string &Name,
     S.PollutedEnginePerMille = P.PollutedPerMille;
     S.ElemChainPerMille = P.ElemChainPerMille;
     S.UtilChains = P.UtilChains;
+    S.FluentPerMille = P.FluentPerMille;
+    S.RecursiveUtils = true;
+    S.AliasRingLength = P.AliasRing;
+    S.BusHandlersPerModule = P.BusHandlers;
+    S.BusTapsPerModule = P.BusTaps;
+    S.BusDelaySpread = P.BusSpread;
     S.VariantsPerFamily = 3;
     S.BoxHelperChain = 1;
     S.IterHelperChain = 10;

@@ -178,6 +178,22 @@ void emitLibrary(ProgramBuilder &B, const WorkloadSpec &S) {
     Init.staticStore("Glob", "reg" + num(F), "r" + num(F));
   }
 
+  // The event bus: one program-wide subscriber list behind subscribe()/
+  // all(). Modules both feed it (staggered by hand-off chains) and read
+  // it back to re-register, so subs + every module's tap local is one
+  // giant copy SCC — see the "Bus" bullet in SyntheticBuilder.h.
+  if (S.BusHandlersPerModule > 0) {
+    B.declClass("Hand");
+    B.declClass("Bus");
+    B.declField("Bus", "subs", "Object");
+    B.method("Bus", "subscribe", {"h"}).store("this", "subs", "h").ret(
+        "this");
+    B.method("Bus", "all").load("r", "this", "subs").ret("r");
+    B.declStaticField("Glob", "bus", "Bus");
+    Init.alloc("bus", "Bus");
+    Init.staticStore("Glob", "bus", "bus");
+  }
+
   // Pumps: per-family static helpers that fill a container from the
   // registry and drain it through get()/iterators. A static helper keeps
   // the family-wide registry union in ONE variable under the
@@ -189,7 +205,13 @@ void emitLibrary(ProgramBuilder &B, const WorkloadSpec &S) {
     MethodBuilder &M = B.method(Pump, "pump", {"b"}, /*IsStatic=*/true);
     M.staticLoad("rg", "Glob", "reg" + num(F));
     M.vcall("t", "rg", "take");
-    M.vcall("", "b", "put", {"t"});
+    // Fluent put: capturing the returned receiver closes the classic
+    // b -> this(put) -> b copy cycle, shared per box kind under ci —
+    // exactly the StringBuilder-style SCC that cycle collapsing targets.
+    if (S.FluentPerMille > 0)
+      M.vcall("b", "b", "put", {"t"});
+    else
+      M.vcall("", "b", "put", {"t"});
     M.vcall("", "b", "get");
     if (S.UseIterators) {
       M.vcall("it", "b", "iter");
@@ -236,10 +258,17 @@ void emitLibrary(ProgramBuilder &B, const WorkloadSpec &S) {
     for (unsigned I = 0; I < S.UtilChainLength; ++I) {
       MethodBuilder &M =
           B.method(Util, "pass" + num(I), {"x"}, /*IsStatic=*/true);
-      if (I + 1 < S.UtilChainLength)
+      if (I + 1 < S.UtilChainLength) {
         M.scall("r", Util, "pass" + num(I + 1), {"x"}).ret("r");
-      else
+      } else {
+        // Recursing back to pass0 closes the parameter chain into a
+        // cycle without changing any points-to set (every pass already
+        // carries the same argument union) — pure collapsing fodder,
+        // like real recursive-descent helpers.
+        if (S.RecursiveUtils && S.UtilChainLength > 1)
+          M.scall("rr", Util, "pass0", {"x"});
         M.copy("r", "x").ret("r");
+      }
     }
   }
 }
@@ -269,7 +298,12 @@ void emitModule(ProgramBuilder &B, const WorkloadSpec &S, unsigned M,
                 C = Fresh("c");
     Run.alloc(U, Buf);
     Run.alloc(Q, Pay);
-    Run.vcall("", U, "append", {Q});
+    // Fluent append (u = u.append(p)): the receiver variable joins the
+    // kind-wide receiver/return cycle, as StringBuilder chains do.
+    if (R.chance(S.FluentPerMille))
+      Run.vcall(U, U, "append", {Q});
+    else
+      Run.vcall("", U, "append", {Q});
     Run.vcall(Rd, U, "read");
     Run.cast(C, Pay, Rd);
     if (J == 0)
@@ -290,12 +324,63 @@ void emitModule(ProgramBuilder &B, const WorkloadSpec &S, unsigned M,
     unsigned Var = R.below(S.VariantsPerFamily);
     std::string E = Fresh("e");
     Run.alloc(E, "Elem" + num(HomeFam) + "v" + num(Var));
-    Run.vcall("", Reg, "add", {E});
+    if (R.chance(S.FluentPerMille))
+      Run.vcall(Reg, Reg, "add", {E}); // fluent: rg = rg.add(e)
+    else
+      Run.vcall("", Reg, "add", {E});
     if (!PrevElem.empty() && R.chance(S.ElemChainPerMille))
       Run.store(E, "nxt" + num(HomeFam), PrevElem);
     PrevElem = E;
     if (FirstElem.empty())
       FirstElem = E;
+  }
+
+  // Loop-variable aliasing: iteration over the registry contents keeps
+  // the family-wide view rotating through a small ring of locals
+  // (cur/prev/first shuffles). Flow-insensitively the ring is a copy
+  // cycle carrying the family union — the dominant SCC shape of real
+  // bytecode, and what online cycle collapsing folds to one node.
+  if (S.AliasRingLength > 1) {
+    std::string T = Fresh("t");
+    Run.vcall(T, Reg, "take");
+    std::string Prev = T;
+    for (unsigned I = 1; I < S.AliasRingLength; ++I) {
+      std::string Cur = Fresh("s");
+      Run.copy(Cur, Prev);
+      Prev = Cur;
+    }
+    Run.copy(T, Prev); // closes the ring
+    std::string CT = Fresh("c");
+    Run.cast(CT, "Elem" + num(HomeFam), Prev);
+    Run.vcall("", CT, "op");
+  }
+
+  // Event-bus participation: register this module's handlers (each handed
+  // through a chain of locals whose length varies by module, staggering
+  // when the handler reaches the bus), then read the subscriber list and
+  // re-register it — the observer/adapter idiom that makes the bus field
+  // and every module's tap variable one program-wide copy cycle.
+  if (S.BusHandlersPerModule > 0) {
+    std::string Bus = Fresh("bu");
+    Run.staticLoad(Bus, "Glob", "bus");
+    for (unsigned J = 0; J < S.BusHandlersPerModule; ++J) {
+      std::string H = Fresh("h");
+      Run.alloc(H, "Hand");
+      unsigned Delay =
+          S.BusDelaySpread > 1 ? (M * 7 + J * 3) % S.BusDelaySpread : 0;
+      std::string Cur = H;
+      for (unsigned D = 0; D < Delay; ++D) {
+        std::string Next = Fresh("d");
+        Run.copy(Next, Cur);
+        Cur = Next;
+      }
+      Run.vcall("", Bus, "subscribe", {Cur});
+    }
+    for (unsigned J = 0; J < S.BusTapsPerModule; ++J) {
+      std::string Tap = Fresh("hs");
+      Run.vcall(Tap, Bus, "all");
+      Run.vcall("", Bus, "subscribe", {Tap});
+    }
   }
 
   // Engine sites: each one materializes a full container context chain

@@ -33,6 +33,21 @@
 ///    (mixed stores and polluted engine logs), static-field caches,
 ///    polymorphic call sites and genuinely unsafe casts, so all three
 ///    type-dependent clients have real work on both sides.
+///  - Fluent chaining and recursion: a slice of container calls capture
+///    the returned receiver back into the receiver variable (the
+///    StringBuilder `sb = sb.append(x)` idiom) and the static utility
+///    chains recurse, so the constraint graph carries the copy-edge
+///    cycles that pervade real Java bytecode — the structures the wave
+///    solver's online cycle collapsing exists for.
+///  - "Bus" observer pattern: a program-wide event bus (the Eclipse
+///    plugin-registry / GUI listener idiom). Every module registers
+///    handlers and also reads the full subscriber list back to wrap and
+///    re-register it, so the bus's subscriber field and every module's
+///    listener local form ONE program-wide copy SCC that keeps receiving
+///    deltas as registration staggers across module initialization — the
+///    dominant giant-SCC shape of real constraint graphs (Hardekopf &
+///    Lin), and the structure where FIFO propagation re-floods the whole
+///    component per delta while cycle collapsing pays for it once.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,6 +88,28 @@ struct WorkloadSpec {
   unsigned IterHelperChain = 5;   ///< helper-call depth inside It.next
   unsigned ElemChainPerMille = 200; ///< chance an element links to its
                                     ///< predecessor (chain diversity)
+  unsigned FluentPerMille = 350;  ///< chance a container call chains through
+                                  ///< its returned receiver (u = u.append(q)),
+                                  ///< the StringBuilder idiom — closes
+                                  ///< receiver/return copy cycles
+  bool RecursiveUtils = true;     ///< util chains recurse back to pass0,
+                                  ///< closing the parameter chain into a cycle
+  unsigned AliasRingLength = 6;   ///< per-module ring of locals rotating the
+                                  ///< registry view (loop-variable shuffling:
+                                  ///< cur/prev/first aliases) — a pure copy
+                                  ///< cycle carrying family-wide sets; 0/1
+                                  ///< disables
+  unsigned BusHandlersPerModule = 1; ///< listener objects each module
+                                  ///< registers on the program-wide event
+                                  ///< bus; 0 disables the bus entirely
+  unsigned BusTapsPerModule = 1;  ///< per-module reads of the full
+                                  ///< subscriber list that re-register it
+                                  ///< (adapter wrapping) — each tap joins
+                                  ///< the program-wide bus SCC
+  unsigned BusDelaySpread = 16;   ///< handlers reach the bus through local
+                                  ///< hand-off chains of length module%spread,
+                                  ///< staggering registration the way
+                                  ///< init-order does in real programs
   bool UseIterators = true;       ///< boxes hand out iterator objects
   bool UseMakerIndirection = false;///< depth-2 factories (ablation)
 };

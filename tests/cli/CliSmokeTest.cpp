@@ -115,8 +115,32 @@ TEST(CliSmoke, BadFlagValuesAreUsageErrors) {
   EXPECT_EQ(R.Exit, cli::ExitUsage);
   EXPECT_NE(R.Err.find("--budget"), std::string::npos) << R.Err;
 
+  R = run({"analyze", Mj, "--solver", "turbo"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("--solver"), std::string::npos) << R.Err;
+
   R = run({"dot-fpg", Mj, "notanumber"});
   EXPECT_EQ(R.Exit, cli::ExitUsage);
+}
+
+TEST(CliSmoke, SolverEnginesAgreeOnClientCounts) {
+  std::string Mj = writeFile("ok.mj", FixtureSrc);
+  CliRun W = run({"analyze", Mj, "--analysis", "2obj", "--heap", "site",
+                  "--solver", "wave"});
+  CliRun N = run({"analyze", Mj, "--analysis", "2obj", "--heap", "site",
+                  "--solver", "naive"});
+  ASSERT_EQ(W.Exit, cli::ExitOk) << W.Err;
+  ASSERT_EQ(N.Exit, cli::ExitOk) << N.Err;
+  // The client-metric lines (between the timing line and the
+  // engine-specific solver line) must match exactly.
+  auto Metrics = [](const std::string &Out) {
+    size_t B = Out.find("  reachable methods");
+    size_t E = Out.find("  solver (");
+    return Out.substr(B, E == std::string::npos ? E : E - B);
+  };
+  EXPECT_EQ(Metrics(W.Out), Metrics(N.Out));
+  EXPECT_NE(W.Out.find("solver (wave)"), std::string::npos) << W.Out;
+  EXPECT_NE(N.Out.find("solver (naive)"), std::string::npos) << N.Out;
 }
 
 TEST(CliSmoke, MissingInputsAreIOErrors) {
