@@ -9,17 +9,24 @@
 // breakdown, the FPG size (objects, fields, edges), NFA sizes (average
 // and maximum over sampled roots), and shared-automata statistics.
 //
-// It then benchmarks the two propagation engines head to head on the ci
-// pre-analysis (the phase MAHJONG's heap modeling consumes): naive FIFO
-// reference vs the wave solver (online cycle collapsing + topological
-// worklist + filter bitmaps), checking that both computed the identical
-// solution, and emits the comparison as machine-readable
-// BENCH_solver.json for CI trend tracking.
+// It then benchmarks two propagation engines head to head on the ci
+// pre-analysis (the phase MAHJONG's heap modeling consumes). The engine
+// table below is data: every engine declares its name and the engine it
+// is raced against, so adding a fourth engine is one table row. The race
+// checks that both engines computed the identical solution (canonical
+// result digests) and emits the comparison as machine-readable JSON for
+// CI trend tracking.
 //
 // Flags:
 //   --smoke        reduced workload scale (fast; what CI runs)
+//   --engine NAME  candidate engine (wave|parallel; default wave). The
+//                  baseline comes from the engine table: wave races the
+//                  naive reference, parallel races serial wave.
+//   --threads N    solver threads for the parallel engine (reaches
+//                  AnalysisOptions::SolverThreads; default hardware)
 //   --json PATH    where to write the JSON report (default
-//                  BENCH_solver.json in the working directory)
+//                  BENCH_solver.json for wave, BENCH_parallel_solver.json
+//                  for parallel)
 //   --only NAME    restrict both sections to one benchmark profile
 //   --solver-only  skip the Table-2 breakdown; run just the engine
 //                  comparison (for solver-perf iteration)
@@ -32,6 +39,7 @@
 
 #include "pta/ResultDigest.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -42,50 +50,97 @@ using namespace mahjong::bench;
 
 namespace {
 
+/// One engine the harness knows how to race. Adding an engine is one row
+/// here (plus, if it should be selectable as a candidate, nothing else):
+/// the race pairs a candidate with the baseline its row names.
+struct EngineSpec {
+  const char *Name;
+  pta::SolverEngine Engine;
+  /// Engine this one is raced against when chosen as the candidate;
+  /// nullptr marks the root reference that can only serve as a baseline.
+  const char *Baseline;
+  /// Default --json path when this engine is the candidate.
+  const char *JsonPath;
+};
+
+constexpr EngineSpec Engines[] = {
+    {"naive", pta::SolverEngine::Naive, nullptr, nullptr},
+    {"wave", pta::SolverEngine::Wave, "naive", "BENCH_solver.json"},
+    {"parallel", pta::SolverEngine::ParallelWave, "wave",
+     "BENCH_parallel_solver.json"},
+};
+
+const EngineSpec *findEngine(const std::string &Name) {
+  for (const EngineSpec &E : Engines)
+    if (Name == E.Name)
+      return &E;
+  return nullptr;
+}
+
 struct SolverRow {
   std::string Name;
-  double NaiveSeconds = 0, WaveSeconds = 0;
-  uint64_t NaivePops = 0, WavePops = 0;
-  uint64_t NaiveSetBytes = 0, WaveSetBytes = 0;
+  double BaseSeconds = 0, CandSeconds = 0;
+  uint64_t BasePops = 0, CandPops = 0;
+  uint64_t BaseSetBytes = 0, CandSetBytes = 0;
+  // Candidate-engine internals (zero where the engine lacks the feature).
   uint64_t SCCsCollapsed = 0, NodesCollapsed = 0, FilterBitmapHits = 0;
+  uint64_t ParallelWaves = 0;
+  double ShardImbalancePct = 0;
   bool Identical = false;
   double speedup() const {
-    return WaveSeconds > 0 ? NaiveSeconds / WaveSeconds : 0;
+    return CandSeconds > 0 ? BaseSeconds / CandSeconds : 0;
   }
 };
 
 std::unique_ptr<pta::PTAResult> runEngine(const ir::Program &P,
                                           const ir::ClassHierarchy &CH,
-                                          pta::SolverEngine Engine) {
+                                          pta::SolverEngine Engine,
+                                          unsigned Threads) {
   pta::AnalysisOptions Opts; // ci, alloc-site heap, no budget
   Opts.Engine = Engine;
+  Opts.SolverThreads = Threads;
   return pta::runPointerAnalysis(P, CH, Opts);
 }
 
 void writeJson(const std::string &Path, const char *Mode,
-               const std::vector<SolverRow> &Rows, const SolverRow *Largest) {
+               const EngineSpec &Base, const EngineSpec &Cand,
+               unsigned Threads, const std::vector<SolverRow> &Rows,
+               const SolverRow *Largest) {
   std::ofstream Out(Path);
-  Out << "{\n  \"mode\": \"" << Mode << "\",\n  \"profiles\": [\n";
+  Out << "{\n  \"mode\": \"" << Mode << "\",\n  \"base_engine\": \""
+      << Base.Name << "\",\n  \"cand_engine\": \"" << Cand.Name << "\",\n";
+  if (Cand.Engine == pta::SolverEngine::ParallelWave)
+    Out << "  \"threads\": " << Threads << ",\n";
+  Out << "  \"profiles\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const SolverRow &R = Rows[I];
-    char Buf[640];
+    char Buf[768];
     std::snprintf(
         Buf, sizeof(Buf),
-        "    {\"name\": \"%s\", \"naive_seconds\": %.4f, "
-        "\"wave_seconds\": %.4f, \"speedup\": %.2f, "
-        "\"naive_pops\": %llu, \"wave_pops\": %llu, "
-        "\"naive_set_bytes\": %llu, \"wave_set_bytes\": %llu, "
+        "    {\"name\": \"%s\", \"base_seconds\": %.4f, "
+        "\"cand_seconds\": %.4f, \"speedup\": %.2f, "
+        "\"base_pops\": %llu, \"cand_pops\": %llu, "
+        "\"base_set_bytes\": %llu, \"cand_set_bytes\": %llu, "
         "\"sccs_collapsed\": %llu, \"nodes_collapsed\": %llu, "
-        "\"filter_bitmap_hits\": %llu, \"identical\": %s}%s\n",
-        R.Name.c_str(), R.NaiveSeconds, R.WaveSeconds, R.speedup(),
-        (unsigned long long)R.NaivePops, (unsigned long long)R.WavePops,
-        (unsigned long long)R.NaiveSetBytes,
-        (unsigned long long)R.WaveSetBytes,
+        "\"filter_bitmap_hits\": %llu",
+        R.Name.c_str(), R.BaseSeconds, R.CandSeconds, R.speedup(),
+        (unsigned long long)R.BasePops, (unsigned long long)R.CandPops,
+        (unsigned long long)R.BaseSetBytes,
+        (unsigned long long)R.CandSetBytes,
         (unsigned long long)R.SCCsCollapsed,
         (unsigned long long)R.NodesCollapsed,
-        (unsigned long long)R.FilterBitmapHits,
-        R.Identical ? "true" : "false", I + 1 < Rows.size() ? "," : "");
+        (unsigned long long)R.FilterBitmapHits);
     Out << Buf;
+    if (Cand.Engine == pta::SolverEngine::ParallelWave) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"parallel_waves\": %llu, "
+                    "\"shard_imbalance_pct\": %.1f",
+                    (unsigned long long)R.ParallelWaves,
+                    R.ShardImbalancePct);
+      Out << Buf;
+    }
+    Out << ", \"identical\": " << (R.Identical ? "true" : "false") << "}"
+        << (I + 1 < Rows.size() ? "," : "") << "\n";
   }
   Out << "  ]";
   if (Largest) {
@@ -144,8 +199,10 @@ void printPreAnalysisBreakdown(const std::vector<std::string> &Names,
 int main(int Argc, char **Argv) {
   bool Smoke = false;
   bool SolverOnly = false;
-  std::string JsonPath = "BENCH_solver.json";
+  std::string JsonPath;
   std::string Only;
+  std::string EngineName = "wave";
+  unsigned Threads = 0; // 0 = hardware concurrency
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--smoke"))
       Smoke = true;
@@ -153,14 +210,36 @@ int main(int Argc, char **Argv) {
       JsonPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--only") && I + 1 < Argc)
       Only = Argv[++I];
+    else if (!std::strncmp(Argv[I], "--engine=", 9))
+      EngineName = Argv[I] + 9;
+    else if (!std::strcmp(Argv[I], "--engine") && I + 1 < Argc)
+      EngineName = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      Threads = (unsigned)std::strtoul(Argv[++I], nullptr, 10);
     else if (!std::strcmp(Argv[I], "--solver-only"))
       SolverOnly = true;
     else {
-      std::fprintf(stderr, "usage: bench_preanalysis [--smoke] [--json PATH] "
-                           "[--only PROFILE] [--solver-only]\n");
+      std::fprintf(stderr,
+                   "usage: bench_preanalysis [--smoke] [--engine NAME] "
+                   "[--threads N] [--json PATH] [--only PROFILE] "
+                   "[--solver-only]\n");
       return 2;
     }
   }
+  const EngineSpec *Cand = findEngine(EngineName);
+  if (!Cand || !Cand->Baseline) {
+    std::fprintf(stderr,
+                 "unknown or baseline-only engine '%s' (candidates:",
+                 EngineName.c_str());
+    for (const EngineSpec &E : Engines)
+      if (E.Baseline)
+        std::fprintf(stderr, " %s", E.Name);
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  const EngineSpec *Base = findEngine(Cand->Baseline);
+  if (JsonPath.empty())
+    JsonPath = Cand->JsonPath;
   const double Scale = Smoke ? 0.05 : 1.0;
   std::vector<std::string> Names;
   for (const std::string &Name : workload::benchmarkNames())
@@ -175,9 +254,10 @@ int main(int Argc, char **Argv) {
     printPreAnalysisBreakdown(Names, Scale, Smoke);
 
   std::printf("\n== Solver engines on the ci pre-analysis "
-              "(naive FIFO vs wave) ==\n\n");
+              "(%s vs %s) ==\n\n",
+              Base->Name, Cand->Name);
   std::printf("%-12s %9s %9s %8s | %10s %10s | %6s %7s %6s\n", "program",
-              "naive(s)", "wave(s)", "speedup", "naive-pops", "wave-pops",
+              "base(s)", "cand(s)", "speedup", "base-pops", "cand-pops",
               "sccs", "merged", "same");
   std::vector<SolverRow> Rows;
   bool AllIdentical = true;
@@ -186,24 +266,26 @@ int main(int Argc, char **Argv) {
     ir::ClassHierarchy CH(*P);
     SolverRow Row;
     Row.Name = Name;
-    auto Naive = runEngine(*P, CH, pta::SolverEngine::Naive);
-    auto Wave = runEngine(*P, CH, pta::SolverEngine::Wave);
-    Row.NaiveSeconds = Naive->Stats.Seconds;
-    Row.WaveSeconds = Wave->Stats.Seconds;
-    Row.NaivePops = Naive->Stats.WorklistPops;
-    Row.WavePops = Wave->Stats.WorklistPops;
-    Row.NaiveSetBytes = Naive->Stats.SetBytes;
-    Row.WaveSetBytes = Wave->Stats.SetBytes;
-    Row.SCCsCollapsed = Wave->Stats.SCCsCollapsed;
-    Row.NodesCollapsed = Wave->Stats.NodesCollapsed;
-    Row.FilterBitmapHits = Wave->Stats.FilterBitmapHits;
-    Row.Identical = pta::equivalentResults(*Naive, *Wave);
+    auto BaseR = runEngine(*P, CH, Base->Engine, Threads);
+    auto CandR = runEngine(*P, CH, Cand->Engine, Threads);
+    Row.BaseSeconds = BaseR->Stats.Seconds;
+    Row.CandSeconds = CandR->Stats.Seconds;
+    Row.BasePops = BaseR->Stats.WorklistPops;
+    Row.CandPops = CandR->Stats.WorklistPops;
+    Row.BaseSetBytes = BaseR->Stats.SetBytes;
+    Row.CandSetBytes = CandR->Stats.SetBytes;
+    Row.SCCsCollapsed = CandR->Stats.SCCsCollapsed;
+    Row.NodesCollapsed = CandR->Stats.NodesCollapsed;
+    Row.FilterBitmapHits = CandR->Stats.FilterBitmapHits;
+    Row.ParallelWaves = CandR->Stats.ParallelWaves;
+    Row.ShardImbalancePct = CandR->Stats.ShardImbalancePct;
+    Row.Identical = pta::equivalentResults(*BaseR, *CandR);
     AllIdentical &= Row.Identical;
     std::printf("%-12s %9.2f %9.2f %7.2fx | %10llu %10llu | %6llu %7llu "
                 "%6s\n",
-                Name.c_str(), Row.NaiveSeconds, Row.WaveSeconds,
-                Row.speedup(), (unsigned long long)Row.NaivePops,
-                (unsigned long long)Row.WavePops,
+                Name.c_str(), Row.BaseSeconds, Row.CandSeconds,
+                Row.speedup(), (unsigned long long)Row.BasePops,
+                (unsigned long long)Row.CandPops,
                 (unsigned long long)Row.SCCsCollapsed,
                 (unsigned long long)Row.NodesCollapsed,
                 Row.Identical ? "yes" : "NO");
@@ -212,21 +294,23 @@ int main(int Argc, char **Argv) {
 
   const SolverRow *Largest = nullptr;
   for (const SolverRow &R : Rows)
-    if (!Largest || R.NaiveSeconds > Largest->NaiveSeconds)
+    if (!Largest || R.BaseSeconds > Largest->BaseSeconds)
       Largest = &R;
   if (Largest)
-    std::printf("\nlargest profile by naive solve time: %s "
+    std::printf("\nlargest profile by %s solve time: %s "
                 "(%.2fs -> %.2fs, %.2fx)\n",
-                Largest->Name.c_str(), Largest->NaiveSeconds,
-                Largest->WaveSeconds, Largest->speedup());
+                Base->Name, Largest->Name.c_str(), Largest->BaseSeconds,
+                Largest->CandSeconds, Largest->speedup());
 
-  writeJson(JsonPath, Smoke ? "smoke" : "full", Rows, Largest);
+  writeJson(JsonPath, Smoke ? "smoke" : "full", *Base, *Cand, Threads, Rows,
+            Largest);
   std::printf("wrote %s\n", JsonPath.c_str());
 
   if (!AllIdentical) {
     std::fprintf(stderr,
-                 "FAIL: wave and naive solvers disagree on at least one "
-                 "profile\n");
+                 "FAIL: %s and %s solvers disagree on at least one "
+                 "profile\n",
+                 Base->Name, Cand->Name);
     return 1;
   }
   return 0;

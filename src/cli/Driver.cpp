@@ -16,6 +16,7 @@
 #include "serve/Traffic.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -33,7 +34,7 @@ int usage(std::ostream &Err) {
          "commands:\n"
          "  analyze <file.mj> [--analysis ci|2cs|2obj|3obj|2type|3type]\n"
          "                    [--heap site|type|mahjong] [--budget SECONDS]\n"
-         "                    [--solver wave|naive]\n"
+         "                    [--solver wave|naive|parallel] [--threads N]\n"
          "                    [--facts DIR] [--save-snapshot FILE.mjsnap]\n"
          "  query <file.mjsnap> <query...>   e.g. query s.mjsnap points-to "
          "Main.main/0::x\n"
@@ -164,12 +165,13 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
   if (Argc < 3)
     return usage(Err);
   std::string Analysis = "2obj", HeapKind = "mahjong", SolverKind = "wave",
-              FactsDir, SnapPath, BudgetStr;
+              FactsDir, SnapPath, BudgetStr, ThreadsStr;
   FlagParser Flags(Argc, Argv, 3, Err);
   while (!Flags.done()) {
     if (Flags.take("--analysis", Analysis) || Flags.take("--heap", HeapKind) ||
         Flags.take("--budget", BudgetStr) || Flags.take("--facts", FactsDir) ||
         Flags.take("--solver", SolverKind) ||
+        Flags.take("--threads", ThreadsStr) ||
         Flags.take("--save-snapshot", SnapPath))
       continue;
     return Flags.malformed() ? ExitUsage : Flags.unknown();
@@ -191,10 +193,23 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
         << "'\n";
     return ExitUsage;
   }
-  if (SolverKind != "wave" && SolverKind != "naive") {
+  if (SolverKind != "wave" && SolverKind != "naive" &&
+      SolverKind != "parallel") {
     Err << "error: flag '--solver' got unknown engine '" << SolverKind
         << "'\n";
     return ExitUsage;
+  }
+  unsigned SolverThreads = 0; // 0 = hardware concurrency
+  if (!ThreadsStr.empty()) {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(ThreadsStr.c_str(), &End, 10);
+    if (!End || *End != '\0' || N < 1 || N > 256) {
+      Err << "error: flag '--threads' needs a thread count in [1, 256], "
+             "got '"
+          << ThreadsStr << "'\n";
+      return ExitUsage;
+    }
+    SolverThreads = static_cast<unsigned>(N);
   }
   int Exit = ExitOk;
   auto P = load(Argv[2], Err, Exit);
@@ -208,8 +223,10 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
   Opts.Kind = Kind;
   Opts.K = K;
   Opts.TimeBudgetSeconds = Budget;
-  Opts.Engine = SolverKind == "naive" ? pta::SolverEngine::Naive
-                                      : pta::SolverEngine::Wave;
+  Opts.Engine = SolverKind == "naive"      ? pta::SolverEngine::Naive
+                : SolverKind == "parallel" ? pta::SolverEngine::ParallelWave
+                                           : pta::SolverEngine::Wave;
+  Opts.SolverThreads = SolverThreads;
   if (HeapKind == "mahjong") {
     MR = core::buildMahjongHeap(*P, CH);
     Opts.Heap = MR.Heap.get();
@@ -244,6 +261,11 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
       << " pops, " << R->Stats.SCCsCollapsed << " SCCs collapsed ("
       << R->Stats.NodesCollapsed << " nodes), " << R->Stats.FilterBitmapHits
       << " filter bitmap hits\n";
+  if (SolverKind == "parallel")
+    Out << "  parallel waves:     " << R->Stats.ParallelWaves << " ("
+        << R->Stats.DeltasBuffered << " deltas buffered, "
+        << R->Stats.DeltasMerged << " merged, shard imbalance "
+        << std::setprecision(1) << R->Stats.ShardImbalancePct << "%)\n";
   if (!FactsDir.empty()) {
     if (!pta::writeAllFacts(*R, FactsDir)) {
       Err << "error: cannot write facts into '" << FactsDir << "'\n";

@@ -8,7 +8,7 @@
 
 #include "core/DFAPartition.h"
 #include "core/EquivChecker.h"
-#include "support/ThreadPool.h"
+#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -161,12 +161,14 @@ HeapModelerResult mahjong::core::modelHeap(const FieldPointsToGraph &G,
     // From here on the workers may only use the const `...Frozen`
     // accessors; freeze() arms the assertions that enforce it.
     Cache.freeze();
+    // Flatten the map to an index space for the shared chunking helper
+    // (std::map iteration order keeps the flattening deterministic).
+    std::vector<TypeBucket *> Work;
+    Work.reserve(Buckets.size());
+    for (auto &[TypeIdx, Bucket] : Buckets)
+      Work.push_back(&Bucket);
     ThreadPool Pool(Opts.Threads);
-    for (auto &[TypeIdx, Bucket] : Buckets) {
-      TypeBucket *B = &Bucket;
-      Pool.enqueue([B, &RunBucket] { RunBucket(*B); });
-    }
-    Pool.wait();
+    parallelFor(Pool, Work.size(), [&](size_t I) { RunBucket(*Work[I]); });
   } else {
     for (auto &[TypeIdx, Bucket] : Buckets)
       RunBucket(Bucket);

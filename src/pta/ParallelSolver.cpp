@@ -1,0 +1,234 @@
+//===-- pta/ParallelSolver.cpp - Wave-parallel points-to solver -------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/ParallelSolver.h"
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+using namespace mahjong;
+using namespace mahjong::ir;
+using namespace mahjong::pta;
+
+ParallelSolver::ParallelSolver(const Program &P, const ClassHierarchy &CH,
+                               const HeapAbstraction &Heap,
+                               ContextSelector &Selector, PTAResult &R,
+                               double TimeBudgetSeconds, unsigned Threads)
+    : Solver(P, CH, Heap, Selector, R, TimeBudgetSeconds),
+      Threads(Threads ? Threads
+                      : std::max(1u, std::thread::hardware_concurrency())),
+      NumShards(this->Threads) {
+  if (this->Threads > 1)
+    Pool = std::make_unique<ThreadPool>(this->Threads);
+  Buffers.resize(NumShards);
+  Segments.resize(NumShards);
+  ChunkPops.resize(NumShards);
+  ShardWork.assign(NumShards, 0);
+  ShardMerged.resize(NumShards);
+  ShardFilterHits.resize(NumShards);
+}
+
+void ParallelSolver::addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) {
+  // Build the bitmap now, while single-threaded: mergeShard may only go
+  // through the const filterBitmapIfBuilt lookup. addEdge is invoked
+  // exclusively from serial contexts (initial reachability, phase C
+  // growth handlers, collapse merging), so this insertion cannot race.
+  if (Filter.isValid())
+    filterBitmap(Filter);
+  Solver::addEdge(Src, Dst, Filter);
+}
+
+template <typename Fn>
+void ParallelSolver::forEachChunk(size_t N, const Fn &Body) {
+  if (Pool) {
+    parallelChunks(*Pool, N, NumShards, Body);
+    return;
+  }
+  for (size_t C = 0; C < NumShards; ++C) {
+    size_t Begin = chunkBegin(N, NumShards, C);
+    size_t End = chunkBegin(N, NumShards, C + 1);
+    if (Begin != End)
+      Body(C, Begin, End);
+  }
+}
+
+uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
+                                    size_t Begin, size_t End, DeltaBuffer &Buf,
+                                    const Timer &Clock) {
+  uint64_t Pops = 0;
+  for (size_t I = Begin; I < End; ++I) {
+    uint32_t N = Wave[I];
+    // Wave entries are unique (a node enters NextWave only on its
+    // Queued 0->1 transition), so this worker owns N's row outright:
+    // R.Pts[N], Pending[N] and Queued[N] are touched by no one else.
+    if (!Queued[N] || !Reps.isRep(N))
+      continue; // stale: merged away, or re-listed by a conditioning pass
+    Queued[N] = 0;
+    if ((++Pops & 0xFFF) == 0) {
+      if (Stop.load(std::memory_order_relaxed))
+        break;
+      if (TimeBudget > 0 && Clock.seconds() > TimeBudget) {
+        Stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    PointsToSet Delta = std::move(Pending[N]);
+    Pending[N].clear();
+    PointsToSet Diff = R.Pts[N].differenceFrom(Delta);
+    if (Diff.empty())
+      continue;
+    R.Pts[N].unionWith(Diff);
+    const std::vector<Edge> &Edges = Out[N];
+    bool HasHandlers = !VarMembers[N].empty() || SelfVar[N].V.isValid();
+    if (Edges.empty() && !HasHandlers)
+      continue;
+    uint32_t Slot = Buf.addDelta(N, std::move(Diff));
+    for (const Edge &E : Edges) {
+      // Read-only representative resolution: the compressing find()
+      // would store into Parent while sibling workers load from it.
+      uint32_t T = Reps.findReadOnly(E.Target.idx());
+      if (T == N)
+        continue; // target collapsed into this class since the edge was added
+      Buf.emit(shardOf(T), T, Slot,
+               E.Filter.isValid() ? E.Filter.idx() + 1 : 0);
+    }
+  }
+  return Pops;
+}
+
+void ParallelSolver::mergeShard(uint32_t Shard) {
+  std::vector<uint32_t> &Seg = Segments[Shard];
+  uint64_t Merged = 0, FilterHits = 0;
+  // Fixed buffer order 0..S-1, emission order within a bucket: the fold
+  // sequence for any target is a pure function of the wave, never of
+  // thread scheduling.
+  for (const DeltaBuffer &Buf : Buffers) {
+    for (const DeltaBuffer::Record &Rec : Buf.records(Shard)) {
+      assert(shardOf(Rec.Target) == Shard && "record in wrong bucket");
+      const PointsToSet &D = Buf.delta(Rec.DeltaSlot);
+      ++Merged;
+      if (Rec.FilterPlus1 == 0) {
+        Pending[Rec.Target].unionWith(D);
+      } else {
+        const PointsToSet *Bitmap =
+            filterBitmapIfBuilt(TypeId(Rec.FilterPlus1 - 1));
+        assert(Bitmap && "filter bitmap not materialized at addEdge time");
+        PointsToSet Filtered = D;
+        Filtered.intersectWith(*Bitmap);
+        ++FilterHits;
+        if (Filtered.empty())
+          continue; // nothing passed the cast; the record still counts
+        Pending[Rec.Target].unionWith(Filtered);
+      }
+      if (!Queued[Rec.Target]) {
+        Queued[Rec.Target] = 1;
+        Seg.push_back(Rec.Target);
+      }
+    }
+  }
+  ShardMerged[Shard] = Merged;
+  ShardFilterHits[Shard] = FilterHits;
+}
+
+void ParallelSolver::runGrowthHandlers() {
+  // Buffers hold contiguous chunks of the sorted wave, so walking them in
+  // shard order replays deltas in exactly the order the serial sweep
+  // would have reached the nodes. Everything below may intern nodes, add
+  // edges and enqueue — all of it single-threaded.
+  for (const DeltaBuffer &Buf : Buffers) {
+    size_t NumDeltas = Buf.numDeltas();
+    for (size_t I = 0; I < NumDeltas; ++I) {
+      uint32_t N = Buf.deltaNode(I);
+      const PointsToSet &Diff = Buf.deltaSet(I);
+      if (VarMembers[N].empty()) {
+        VarRef Self = SelfVar[N];
+        if (Self.V.isValid())
+          onVarGrowth(Self.C, Self.V, Diff);
+      } else {
+        size_t NumVars = VarMembers[N].size();
+        for (size_t J = 0; J < NumVars; ++J) {
+          VarRef M = VarMembers[N][J];
+          onVarGrowth(M.C, M.V, Diff);
+        }
+      }
+    }
+  }
+}
+
+bool ParallelSolver::run() {
+  Timer Clock;
+  seedEntry();
+
+  uint64_t Pops = 0;
+  std::vector<uint32_t> Wave;
+  while (!R.Stats.TimedOut) {
+    if (shouldRecondition())
+      recondition();
+    if (NextWave.empty())
+      break;
+    ++WavesSinceRecondition;
+    ++R.Stats.ParallelWaves;
+    Wave.swap(NextWave);
+    sortWave(Wave);
+
+    // Phase A: sharded sweep. Workers write only rows of nodes they pop
+    // and their private buffer; structural state is read-only.
+    for (uint32_t C = 0; C < NumShards; ++C) {
+      Buffers[C].reset(NumShards);
+      ChunkPops[C] = 0;
+    }
+    forEachChunk(Wave.size(), [&](size_t C, size_t Begin, size_t End) {
+      ChunkPops[C] = sweepChunk(Wave, Begin, End, Buffers[C], Clock);
+    });
+    for (uint32_t C = 0; C < NumShards; ++C) {
+      Pops += ChunkPops[C];
+      uint64_t Emitted = Buffers[C].numRecords();
+      ShardWork[C] += Emitted;
+      R.Stats.DeltasBuffered += Emitted;
+    }
+    if (Stop.load(std::memory_order_relaxed)) {
+      R.Stats.TimedOut = true;
+      break; // buffered deliveries are dropped; the result is partial
+    }
+
+    // Phase B: sharded merge. Worker t owns exactly the Pending/Queued
+    // rows of targets in shard t.
+    forEachChunk(NumShards, [&](size_t, size_t Begin, size_t End) {
+      for (size_t T = Begin; T < End; ++T)
+        mergeShard(static_cast<uint32_t>(T));
+    });
+    for (uint32_t T = 0; T < NumShards; ++T) {
+      R.Stats.DeltasMerged += ShardMerged[T];
+      R.Stats.FilterBitmapHits += ShardFilterHits[T];
+      NextWave.insert(NextWave.end(), Segments[T].begin(), Segments[T].end());
+      Segments[T].clear();
+    }
+    assert(R.Stats.DeltasMerged == R.Stats.DeltasBuffered &&
+           "merge phase lost or duplicated a buffered delivery");
+
+    // Phase C: serialized growth handlers in wave order.
+    runGrowthHandlers();
+    Wave.clear();
+  }
+
+  // Imbalance over the whole run: how much the busiest sweep chunk
+  // exceeded the mean, in percent of the mean.
+  uint64_t Total = 0, Max = 0;
+  for (uint64_t W : ShardWork) {
+    Total += W;
+    Max = std::max(Max, W);
+  }
+  if (Total > 0 && NumShards > 1) {
+    double Mean = static_cast<double>(Total) / NumShards;
+    R.Stats.ShardImbalancePct = (static_cast<double>(Max) - Mean) / Mean * 100.0;
+  }
+
+  finishRun(Clock, Pops);
+  return !R.Stats.TimedOut;
+}

@@ -1,0 +1,113 @@
+//===-- pta/ParallelSolver.h - Wave-parallel points-to solver -*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wave-parallel engine (SolverEngine::ParallelWave): the wave
+/// engine's exact structure — topologically sorted waves, coalesced
+/// pending deltas, online cycle collapsing — with each wave's sweep
+/// executed by support::ThreadPool workers. A wave runs in three phases:
+///
+///  **A. Sharded sweep (parallel).** The sorted wave is cut into
+///  contiguous chunks, one per shard. Each worker pops only nodes of its
+///  own chunk: it moves the node's pending delta, computes the true
+///  growth (differenceFrom), updates the node's own points-to set, and
+///  buffers one emission record per outgoing edge into its private
+///  DeltaBuffer, bucketed by the *target's* shard (target id mod shard
+///  count). Nothing shared is written: points-to sets, Pending and Queued
+///  slots touched here belong exclusively to the popped node, edge
+///  targets are resolved through the non-compressing
+///  DisjointSets::findReadOnly, and type filters are not evaluated yet.
+///
+///  **B. Sharded merge (parallel).** Worker t folds every buffer's bucket
+///  t — scanning buffers in fixed shard order 0..S-1 — into the pending
+///  sets of its targets, applying cast-filter bitmaps (materialized
+///  serially at edge-addition time) and collecting newly dirtied nodes
+///  into a per-shard next-wave segment. Only shard t's Pending/Queued
+///  slots are written, so the phase is race-free by partition.
+///
+///  **C. Growth handlers (serial).** Deltas are replayed through
+///  onVarGrowth in global wave order (buffers hold contiguous wave
+///  chunks, so buffer order reconstructs it). Everything that mutates
+///  shared structure — node interning, context creation, call-graph
+///  edges, edge addition, filter-bitmap building — happens here or at
+///  wave boundaries (cycle collapsing), never inside phases A/B.
+///
+/// Determinism: chunk boundaries depend only on (wave size, shard
+/// count), the merge scans buffers in fixed order, PointsToSet storage
+/// is canonical in its contents, and the wave sort breaks ties by node
+/// id — so the engine is bit-for-bit reproducible at *every* thread
+/// count, and its fixpoint equals the serial engines' (monotone
+/// confluence; enforced by pta::ResultDigest in
+/// tests/pta/ParallelSolverEquivalenceTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_PARALLELSOLVER_H
+#define MAHJONG_PTA_PARALLELSOLVER_H
+
+#include "pta/Solver.h"
+#include "support/DeltaBuffer.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace mahjong::pta {
+
+/// The sharded wave engine. Derives from Solver for all wave
+/// infrastructure; overrides only the per-wave sweep and the points where
+/// laziness would leak mutation into the concurrent phases.
+class ParallelSolver final : public Solver {
+public:
+  ParallelSolver(const ir::Program &P, const ir::ClassHierarchy &CH,
+                 const HeapAbstraction &Heap, ContextSelector &Selector,
+                 PTAResult &R, double TimeBudgetSeconds, unsigned Threads);
+
+  bool run() override;
+
+private:
+  /// Eagerly materializes the filter bitmap (single-threaded context)
+  /// before delegating: the concurrent merge phase must find every bitmap
+  /// already built, since building one inserts into FilterObjs.
+  void addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) override;
+
+  uint32_t shardOf(uint32_t Node) const { return Node % NumShards; }
+
+  /// Phase A for one chunk: pops Wave[Begin, End), updates owned sets and
+  /// buffers emissions into \p Buf. \returns the chunk's pop count.
+  uint64_t sweepChunk(const std::vector<uint32_t> &Wave, size_t Begin,
+                      size_t End, DeltaBuffer &Buf, const Timer &Clock);
+
+  /// Phase B for one target shard: folds bucket \p Shard of every buffer
+  /// (in buffer order) into Pending/Queued, filling the shard's next-wave
+  /// segment and its merged/filter-hit counters.
+  void mergeShard(uint32_t Shard);
+
+  /// Phase C: replays buffered deltas through the growth handlers in
+  /// global wave order.
+  void runGrowthHandlers();
+
+  /// Runs \p Body(Chunk, Begin, End) over [0, N) cut into NumShards
+  /// chunks — on the pool when one exists, inline otherwise (identical
+  /// boundaries either way).
+  template <typename Fn> void forEachChunk(size_t N, const Fn &Body);
+
+  unsigned Threads;   ///< resolved worker count (>= 1)
+  uint32_t NumShards; ///< == Threads; fixed for the whole run
+  std::unique_ptr<ThreadPool> Pool; ///< null when Threads == 1
+
+  std::vector<DeltaBuffer> Buffers;            ///< one per sweep chunk
+  std::vector<std::vector<uint32_t>> Segments; ///< per-shard next-wave parts
+  std::vector<uint64_t> ChunkPops;             ///< phase-A scratch
+  std::vector<uint64_t> ShardWork;   ///< run-long records per sweep chunk
+  std::vector<uint64_t> ShardMerged; ///< phase-B scratch: folded records
+  std::vector<uint64_t> ShardFilterHits; ///< phase-B scratch
+  std::atomic<bool> Stop{false};     ///< budget exhausted mid-sweep
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_PARALLELSOLVER_H

@@ -7,6 +7,7 @@
 #include "pta/PointerAnalysis.h"
 
 #include "pta/NaiveSolver.h"
+#include "pta/ParallelSolver.h"
 #include "pta/Solver.h"
 
 using namespace mahjong;
@@ -66,6 +67,10 @@ mahjong::pta::runPointerAnalysis(const Program &P, const ClassHierarchy &CH,
   R->HeapName = Heap.name();
   if (Opts.Engine == SolverEngine::Naive) {
     NaiveSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
+    S.run();
+  } else if (Opts.Engine == SolverEngine::ParallelWave) {
+    ParallelSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds,
+                     Opts.SolverThreads);
     S.run();
   } else {
     Solver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);

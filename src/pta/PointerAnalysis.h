@@ -55,6 +55,13 @@ struct PTAStats {
   uint64_t NodesCollapsed = 0; ///< nodes absorbed into a representative
   uint64_t FilterBitmapHits = 0; ///< cast filters served by a type bitmap
   uint64_t SetBytes = 0; ///< bytes held by all points-to sets at the end
+  // Wave-parallel engine counters (zero under the serial engines).
+  uint64_t ParallelWaves = 0;  ///< waves executed by the sharded sweep
+  uint64_t DeltasBuffered = 0; ///< delivery records emitted into buffers
+  uint64_t DeltasMerged = 0;   ///< delivery records folded by the merge
+  /// How uneven the sharded work was: (max - mean) / mean over per-shard
+  /// buffered-record totals, in percent. 0 when perfectly balanced.
+  double ShardImbalancePct = 0;
 };
 
 /// The complete solution of one points-to analysis run.
@@ -137,12 +144,14 @@ public:
   }
 };
 
-/// Which propagation core solves the constraint system. Both engines
-/// compute the same fixpoint (see tests/pta/SolverEquivalenceTest.cpp);
-/// Naive is retained as the differential reference and perf baseline.
+/// Which propagation core solves the constraint system. All engines
+/// compute the same fixpoint (see tests/pta/SolverEquivalenceTest.cpp and
+/// tests/pta/ParallelSolverEquivalenceTest.cpp); Naive is retained as the
+/// differential reference and perf baseline.
 enum class SolverEngine {
-  Wave, ///< cycle-collapsing, topologically ordered wave propagation
-  Naive ///< textbook FIFO worklist
+  Wave,         ///< cycle-collapsing, topologically ordered wave propagation
+  Naive,        ///< textbook FIFO worklist
+  ParallelWave, ///< wave engine with sharded multi-threaded sweeps
 };
 
 /// Options selecting the analysis variant.
@@ -156,6 +165,12 @@ struct AnalysisOptions {
   /// the budget stops early with Stats.TimedOut set (the paper's
   /// "unscalable within 5 hours" rows).
   double TimeBudgetSeconds = 0;
+  /// Worker threads for SolverEngine::ParallelWave (0 = hardware
+  /// concurrency). The result is identical at every thread count — the
+  /// sharded sweep's merge order is a function of the wave, not of the
+  /// schedule — so this is purely a performance knob. Ignored by the
+  /// serial engines.
+  unsigned SolverThreads = 0;
 };
 
 /// Runs the points-to analysis described by \p Opts on \p P.

@@ -349,12 +349,33 @@ void Solver::flattenResult() {
   }
 }
 
-bool Solver::run() {
-  Timer Clock;
+void Solver::seedEntry() {
   // Ensure the null cs-object's type is recorded before any filtering.
   registerCSObj(CSNullObjRaw, P.nullType());
-
   addReachable(R.Ctxs.empty(), P.entryMethod());
+}
+
+void Solver::sortWave(std::vector<uint32_t> &Wave) const {
+  std::sort(Wave.begin(), Wave.end(), [this](uint32_t A, uint32_t B) {
+    return Order[A] != Order[B] ? Order[A] < Order[B] : A < B;
+  });
+}
+
+void Solver::finishRun(const Timer &Clock, uint64_t Pops) {
+  // Record the engine's true working set before flattening duplicates the
+  // representative sets back onto class members.
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
+    R.Stats.SetBytes += R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
+  flattenResult();
+
+  R.Stats.Seconds = Clock.seconds();
+  R.Stats.WorklistPops = Pops;
+  finalizeStats();
+}
+
+bool Solver::run() {
+  Timer Clock;
+  seedEntry();
 
   uint64_t Pops = 0;
   std::vector<uint32_t> Wave;
@@ -367,9 +388,7 @@ bool Solver::run() {
       break;
     ++WavesSinceRecondition;
     Wave.swap(NextWave);
-    std::sort(Wave.begin(), Wave.end(), [this](uint32_t A, uint32_t B) {
-      return Order[A] != Order[B] ? Order[A] < Order[B] : A < B;
-    });
+    sortWave(Wave);
     for (uint32_t N : Wave) {
       if (!Queued[N] || !Reps.isRep(N))
         continue; // stale: merged away, or re-listed by a conditioning pass
@@ -386,14 +405,6 @@ bool Solver::run() {
     Wave.clear();
   }
 
-  // Record the engine's true working set before flattening duplicates the
-  // representative sets back onto class members.
-  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
-    R.Stats.SetBytes += R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
-  flattenResult();
-
-  R.Stats.Seconds = Clock.seconds();
-  R.Stats.WorklistPops = Pops;
-  finalizeStats();
+  finishRun(Clock, Pops);
   return !R.Stats.TimedOut;
 }

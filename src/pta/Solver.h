@@ -46,19 +46,23 @@
 
 #include "pta/SolverCore.h"
 #include "support/DisjointSets.h"
+#include "support/Timer.h"
 
 #include <unordered_map>
 
 namespace mahjong::pta {
 
-/// The default fixpoint engine (SolverEngine::Wave).
-class Solver final : public SolverCore {
+/// The default fixpoint engine (SolverEngine::Wave). The wave-parallel
+/// engine (ParallelSolver.h) derives from it, reusing the entire wave
+/// infrastructure — storage layout, enqueueing, cycle collapsing,
+/// conditioning, flattening — and replacing only the per-wave sweep.
+class Solver : public SolverCore {
 public:
   using SolverCore::SolverCore;
 
   bool run() override;
 
-private:
+protected:
   struct Edge {
     PtrNodeId Target; ///< re-resolved through rep() at firing time
     TypeId Filter;    ///< cast target; invalid = unfiltered
@@ -81,7 +85,28 @@ private:
 
   /// Bitmap of all cs-objects passing \p Filter, built on first use.
   const PointsToSet &filterBitmap(TypeId Filter);
+  /// The already-built bitmap for \p Filter, or null if no cast through
+  /// this type has been seen. Never inserts, so it is safe to call from
+  /// concurrent readers as long as no writer runs (the parallel engine
+  /// materializes every bitmap at edge-addition time, which is serial).
+  const PointsToSet *filterBitmapIfBuilt(TypeId Filter) const {
+    auto It = FilterObjs.find(Filter.idx());
+    return It == FilterObjs.end() ? nullptr : &It->second;
+  }
   PointsToSet filtered(const PointsToSet &Set, TypeId Filter);
+
+  /// Shared run() prologue: registers the null cs-object's type and seeds
+  /// the entry method under the empty context.
+  void seedEntry();
+
+  /// Shared run() epilogue: records the engine's working set, flattens
+  /// representatives onto members and fills the timing/pop stats.
+  void finishRun(const Timer &Clock, uint64_t Pops);
+
+  /// Sorts a snapshotted wave by topological priority (ties by node id,
+  /// making the sweep order a total, schedule-independent function of the
+  /// dirty set).
+  void sortWave(std::vector<uint32_t> &Wave) const;
 
   /// True when enough new copy edges accumulated to justify a pass.
   bool shouldRecondition() const;

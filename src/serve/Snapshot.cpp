@@ -11,6 +11,7 @@
 #include "support/Varint.h"
 
 #include <algorithm>
+#include <cassert>
 #include <fstream>
 #include <sstream>
 
@@ -94,6 +95,35 @@ bool readDeltaList(ByteReader &R, std::vector<uint32_t> &Out,
   return true;
 }
 
+/// v2 dedup-table encoding: each set is front-coded against its
+/// predecessor as (sharedPrefixLen, suffixLen, suffix gaps). The suffix
+/// gaps continue the delta chain from the last shared element, so a set
+/// that extends its neighbor by one object costs three varints total.
+/// Presumes (but does not require) the lexicographically sorted table
+/// buildSnapshot produces — correctness never depends on the order, only
+/// the compression ratio does.
+void putFrontCodedSets(std::string &Body,
+                       const std::vector<std::vector<uint32_t>> &Sets) {
+  putVarint(Body, Sets.size());
+  const std::vector<uint32_t> *Prev = nullptr;
+  for (const std::vector<uint32_t> &S : Sets) {
+    size_t Shared = 0;
+    if (Prev) {
+      size_t Limit = std::min(Prev->size(), S.size());
+      while (Shared < Limit && (*Prev)[Shared] == S[Shared])
+        ++Shared;
+    }
+    putVarint(Body, Shared);
+    putVarint(Body, S.size() - Shared);
+    uint32_t PrevVal = Shared ? S[Shared - 1] : 0;
+    for (size_t I = Shared; I < S.size(); ++I) {
+      putVarint(Body, S[I] - PrevVal);
+      PrevVal = S[I];
+    }
+    Prev = &S;
+  }
+}
+
 void putSection(std::string &Payload, SectionId Id, const std::string &Body) {
   Payload.push_back(static_cast<char>(Id));
   putVarint(Payload, Body.size());
@@ -161,9 +191,24 @@ SnapshotData mahjong::serve::buildSnapshot(const pta::PTAResult &R) {
     D.Vars[V].Method = P.var(VarId(V)).Method.idx();
     D.Vars[V].PtsSet = Sets.intern(R.ciVarPts(VarId(V)).toVector()).idx();
   }
-  D.PtsSets.resize(Sets.size());
+  // Re-order the table lexicographically: adjacent sets then share the
+  // longest possible prefixes, which is what the v2 front-coded encoding
+  // compresses. The empty set is the lexicographic minimum, so it lands
+  // on index 0 by construction (the format's pinned invariant).
+  std::vector<uint32_t> Perm(Sets.size());
   for (uint32_t I = 0; I < Sets.size(); ++I)
-    D.PtsSets[I] = Sets.get(Id<PtsSetTag>(I));
+    Perm[I] = I;
+  std::sort(Perm.begin(), Perm.end(), [&Sets](uint32_t A, uint32_t B) {
+    return Sets.get(Id<PtsSetTag>(A)) < Sets.get(Id<PtsSetTag>(B));
+  });
+  std::vector<uint32_t> NewIndex(Sets.size());
+  D.PtsSets.resize(Sets.size());
+  for (uint32_t New = 0; New < Sets.size(); ++New) {
+    NewIndex[Perm[New]] = New;
+    D.PtsSets[New] = Sets.get(Id<PtsSetTag>(Perm[New]));
+  }
+  for (SnapshotData::Var &V : D.Vars)
+    V.PtsSet = NewIndex[V.PtsSet];
 
   D.Sites.resize(P.numCallSites());
   for (uint32_t S = 0; S < P.numCallSites(); ++S) {
@@ -184,7 +229,10 @@ SnapshotData mahjong::serve::buildSnapshot(const pta::PTAResult &R) {
   return D;
 }
 
-std::string mahjong::serve::encodeSnapshot(const SnapshotData &D) {
+std::string mahjong::serve::encodeSnapshot(const SnapshotData &D,
+                                           uint32_t Version) {
+  assert(Version >= SnapshotMinSupported && Version <= SnapshotVersion &&
+         "cannot encode an unknown snapshot version");
   std::string Payload, Body;
 
   Body.clear();
@@ -237,9 +285,13 @@ std::string mahjong::serve::encodeSnapshot(const SnapshotData &D) {
   putSection(Payload, SecObjs, Body);
 
   Body.clear();
-  putVarint(Body, D.PtsSets.size());
-  for (const std::vector<uint32_t> &S : D.PtsSets)
-    putDeltaList(Body, S);
+  if (Version >= 2) {
+    putFrontCodedSets(Body, D.PtsSets);
+  } else {
+    putVarint(Body, D.PtsSets.size());
+    for (const std::vector<uint32_t> &S : D.PtsSets)
+      putDeltaList(Body, S);
+  }
   putSection(Payload, SecPtsSets, Body);
 
   Body.clear();
@@ -262,7 +314,7 @@ std::string mahjong::serve::encodeSnapshot(const SnapshotData &D) {
 
   std::string Out;
   Out.append(Magic, sizeof(Magic));
-  putFixed32(Out, SnapshotVersion);
+  putFixed32(Out, Version);
   putFixed64(Out, fnv1a64(Payload));
   putFixed64(Out, Payload.size());
   Out += Payload;
@@ -356,6 +408,46 @@ bool decodePtsSets(ByteReader &R, SnapshotData &D, uint32_t NumObjs) {
   for (std::vector<uint32_t> &S : D.PtsSets)
     if (!readDeltaList(R, S, NumObjs))
       return false;
+  return true;
+}
+
+/// v2 counterpart of decodePtsSets: reconstructs each front-coded set
+/// from its predecessor's prefix plus the delta-coded suffix, enforcing
+/// the same invariants readDeltaList does (strictly ascending, in range)
+/// plus the front-coding ones (shared prefix no longer than the
+/// predecessor; only the very first element of an unshared set may be 0).
+bool decodePtsSetsV2(ByteReader &R, SnapshotData &D, uint32_t NumObjs) {
+  uint64_t N;
+  if (!readCount(R, N))
+    return false;
+  D.PtsSets.resize(N);
+  const std::vector<uint32_t> *Prev = nullptr;
+  for (std::vector<uint32_t> &S : D.PtsSets) {
+    uint64_t Shared, SuffixN;
+    if (!R.readVarint(Shared) || !R.readVarint(SuffixN))
+      return false;
+    if (Shared > (Prev ? Prev->size() : 0))
+      return false; // prefix reaches past the predecessor
+    if (SuffixN > R.remaining())
+      return false; // every suffix element encodes to >= 1 byte
+    S.reserve(Shared + SuffixN);
+    if (Shared)
+      S.assign(Prev->begin(), Prev->begin() + Shared);
+    uint64_t PrevVal = Shared ? S.back() : 0;
+    for (uint64_t I = 0; I < SuffixN; ++I) {
+      uint64_t Gap;
+      if (!R.readVarint(Gap))
+        return false;
+      if (Gap == 0 && !(I == 0 && Shared == 0))
+        return false; // not strictly ascending
+      uint64_t V = PrevVal + Gap;
+      if (V >= NumObjs)
+        return false;
+      S.push_back(static_cast<uint32_t>(V));
+      PrevVal = V;
+    }
+    Prev = &S;
+  }
   return true;
 }
 
@@ -490,8 +582,9 @@ mahjong::serve::decodeSnapshot(std::string_view Bytes, std::string &Err) {
       Ok = decodeObjs(R, *D);
       break;
     case SecPtsSets:
-      Ok = decodePtsSets(R, *D,
-                         static_cast<uint32_t>(D->Objs.size()));
+      Ok = Version >= 2
+               ? decodePtsSetsV2(R, *D, static_cast<uint32_t>(D->Objs.size()))
+               : decodePtsSets(R, *D, static_cast<uint32_t>(D->Objs.size()));
       break;
     case SecCallGraph:
       Ok = decodeSites(R, *D, static_cast<uint32_t>(D->Methods.size()));

@@ -15,10 +15,17 @@
 /// points-to set of every variable, the CI call graph, and the cast-site
 /// table. Points-to sets are stored deduplicated (each distinct set once,
 /// variables reference it by index) and delta-encoded (sorted object ids,
-/// LEB128 gaps). Both encodings compound with the MAHJONG heap: merged
-/// objects collapse many sets onto few class representatives, so the dedup
-/// table stays small — the same repetitive-structure observation the MDE
-/// line of work exploits (PAPERS.md).
+/// LEB128 gaps). Since format v2 the dedup table is additionally
+/// *front-coded*: the table is kept lexicographically sorted (buildSnapshot
+/// pins that order), and each set stores only the length of the prefix it
+/// shares with its predecessor plus the delta-coded suffix — dedup removes
+/// identical sets, front-coding the near-identical ones that remain (a
+/// variable's set is typically a superset of its neighbors'). All encodings
+/// compound with the MAHJONG heap: merged objects collapse many sets onto
+/// few class representatives, so the dedup table stays small — the same
+/// repetitive-structure observation the MDE line of work exploits
+/// (PAPERS.md). v1 files (plain per-set delta lists, unsorted table) still
+/// load.
 ///
 /// File layout (all integers LEB128 unless noted):
 ///
@@ -45,8 +52,8 @@
 
 namespace mahjong::serve {
 
-/// Format version written by this build.
-inline constexpr uint32_t SnapshotVersion = 1;
+/// Format version written by this build (v2: front-coded dedup table).
+inline constexpr uint32_t SnapshotVersion = 2;
 /// Oldest version this build still loads.
 inline constexpr uint32_t SnapshotMinSupported = 1;
 
@@ -103,7 +110,11 @@ struct SnapshotData {
   std::vector<Site> Sites;
   std::vector<Cast> Casts;
   /// Deduplicated CI points-to sets as sorted object-id vectors; index 0
-  /// is always the empty set.
+  /// is always the empty set. buildSnapshot orders the table
+  /// lexicographically (the empty set is the lexicographic minimum, so
+  /// the index-0 invariant falls out), which is what makes the v2
+  /// front-coded encoding effective; decoded v1 files may carry the
+  /// table in any order.
   std::vector<std::vector<uint32_t>> PtsSets;
 
   /// Subtype test over the baked closure.
@@ -126,7 +137,11 @@ struct SnapshotData {
 SnapshotData buildSnapshot(const pta::PTAResult &R);
 
 /// Serializes \p D into .mjsnap bytes (header + checksummed payload).
-std::string encodeSnapshot(const SnapshotData &D);
+/// \p Version selects the wire format ([SnapshotMinSupported,
+/// SnapshotVersion]); writing an older version exists for compatibility
+/// tests and for feeding consumers that have not upgraded yet.
+std::string encodeSnapshot(const SnapshotData &D,
+                           uint32_t Version = SnapshotVersion);
 
 /// Decodes and validates .mjsnap bytes. \returns null with a diagnostic
 /// in \p Err on bad magic, unsupported version, checksum mismatch,

@@ -1,0 +1,109 @@
+//===-- support/DeltaBuffer.h - Buffered delta emission -------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The private per-worker buffer of the wave-parallel solver. During the
+/// concurrent phase of a wave each worker appends the delta it computed
+/// for every node it owns (one PointsToSet per node, stored once) plus
+/// lightweight emission records — (target, delta slot, filter) triples —
+/// bucketed by the target's shard. No shared PointsToSet is ever mutated:
+/// the records reference the stored deltas by slot, so emission is
+/// zero-copy no matter how many edges fan out of a node.
+///
+/// A later merge phase drains the buckets: the worker owning target shard
+/// t scans bucket t of every buffer in fixed buffer order, which makes
+/// the fold independent of thread scheduling. The buffer itself is
+/// single-writer by construction and exposes only const access afterward.
+///
+/// Emission and drain counters (numRecords / numDeltas) let the solver
+/// assert conservation: every buffered record must be folded exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_SUPPORT_DELTABUFFER_H
+#define MAHJONG_SUPPORT_DELTABUFFER_H
+
+#include "support/PointsToSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mahjong {
+
+/// One worker's buffered output for one wave: owned deltas plus emission
+/// records sub-bucketed by target shard.
+class DeltaBuffer {
+public:
+  /// One buffered delivery. FilterPlus1 is a type-filter id biased by one
+  /// (0 = unfiltered); the buffer is agnostic to what the id means.
+  struct Record {
+    uint32_t Target;      ///< destination node (a representative id)
+    uint32_t DeltaSlot;   ///< index into this buffer's delta store
+    uint32_t FilterPlus1; ///< 0 = deliver as-is, else filter id + 1
+  };
+
+  /// Clears all deltas and records and re-buckets for \p NumTargetShards.
+  /// Bucket storage is retained across waves to avoid reallocation.
+  void reset(uint32_t NumTargetShards) {
+    Deltas.clear();
+    if (Buckets.size() != NumTargetShards)
+      Buckets.resize(NumTargetShards);
+    for (auto &B : Buckets)
+      B.clear();
+  }
+
+  /// Stores the delta that node \p Node gained this wave. Returns the slot
+  /// for use in emit(); the set is stored once regardless of fan-out.
+  uint32_t addDelta(uint32_t Node, PointsToSet &&Delta) {
+    Deltas.emplace_back(Node, std::move(Delta));
+    return static_cast<uint32_t>(Deltas.size() - 1);
+  }
+
+  /// Records delivery of delta \p DeltaSlot to \p Target, whose shard is
+  /// \p TargetShard. Call only from the worker that owns this buffer.
+  void emit(uint32_t TargetShard, uint32_t Target, uint32_t DeltaSlot,
+            uint32_t FilterPlus1) {
+    assert(TargetShard < Buckets.size() && "target shard out of range");
+    assert(DeltaSlot < Deltas.size() && "emit before addDelta");
+    Buckets[TargetShard].push_back({Target, DeltaSlot, FilterPlus1});
+  }
+
+  /// Records destined for \p TargetShard, in emission order.
+  const std::vector<Record> &records(uint32_t TargetShard) const {
+    return Buckets[TargetShard];
+  }
+
+  const PointsToSet &delta(uint32_t Slot) const { return Deltas[Slot].second; }
+
+  /// Deltas in the order the worker produced them (wave order within the
+  /// worker's contiguous chunk). The solver's serialized growth phase
+  /// walks these buffer-by-buffer, reconstructing global wave order.
+  size_t numDeltas() const { return Deltas.size(); }
+  uint32_t deltaNode(size_t I) const { return Deltas[I].first; }
+  const PointsToSet &deltaSet(size_t I) const { return Deltas[I].second; }
+
+  /// Total records emitted across all buckets (conservation check).
+  size_t numRecords() const {
+    size_t Total = 0;
+    for (const auto &B : Buckets)
+      Total += B.size();
+    return Total;
+  }
+
+  uint32_t numTargetShards() const {
+    return static_cast<uint32_t>(Buckets.size());
+  }
+
+private:
+  std::vector<std::pair<uint32_t, PointsToSet>> Deltas;
+  std::vector<std::vector<Record>> Buckets;
+};
+
+} // namespace mahjong
+
+#endif // MAHJONG_SUPPORT_DELTABUFFER_H

@@ -52,6 +52,18 @@ public:
     return findSlow(X);
   }
 
+  /// Representative lookup without path compression, safe to call
+  /// concurrently with other readers (it never writes Parent). The
+  /// wave-parallel solver resolves edge targets with this during its
+  /// concurrent phase; the mutating find() would race its own compression
+  /// stores against other workers' loads. Chains stay short because every
+  /// serial-phase find() still compresses.
+  uint32_t findReadOnly(uint32_t X) const {
+    while (Parent[X] != X)
+      X = Parent[X];
+    return X;
+  }
+
   /// Unites the sets containing \p X and \p Y by rank.
   ///
   /// \returns the representative of the merged set.

@@ -119,6 +119,14 @@ TEST(CliSmoke, BadFlagValuesAreUsageErrors) {
   EXPECT_EQ(R.Exit, cli::ExitUsage);
   EXPECT_NE(R.Err.find("--solver"), std::string::npos) << R.Err;
 
+  R = run({"analyze", Mj, "--threads", "0"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("--threads"), std::string::npos) << R.Err;
+
+  R = run({"analyze", Mj, "--threads", "banana"});
+  EXPECT_EQ(R.Exit, cli::ExitUsage);
+  EXPECT_NE(R.Err.find("--threads"), std::string::npos) << R.Err;
+
   R = run({"dot-fpg", Mj, "notanumber"});
   EXPECT_EQ(R.Exit, cli::ExitUsage);
 }
@@ -141,6 +149,18 @@ TEST(CliSmoke, SolverEnginesAgreeOnClientCounts) {
   EXPECT_EQ(Metrics(W.Out), Metrics(N.Out));
   EXPECT_NE(W.Out.find("solver (wave)"), std::string::npos) << W.Out;
   EXPECT_NE(N.Out.find("solver (naive)"), std::string::npos) << N.Out;
+
+  // The parallel engine agrees too, at an explicit thread count, and
+  // surfaces its extra stats line.
+  CliRun P = run({"analyze", Mj, "--analysis", "2obj", "--heap", "site",
+                  "--solver", "parallel", "--threads", "4"});
+  ASSERT_EQ(P.Exit, cli::ExitOk) << P.Err;
+  EXPECT_EQ(Metrics(W.Out), Metrics(P.Out));
+  EXPECT_NE(P.Out.find("solver (parallel)"), std::string::npos) << P.Out;
+  EXPECT_NE(P.Out.find("parallel waves:"), std::string::npos) << P.Out;
+  EXPECT_NE(P.Out.find("shard imbalance"), std::string::npos) << P.Out;
+  // Serial engines do not print the parallel-only line.
+  EXPECT_EQ(W.Out.find("parallel waves:"), std::string::npos) << W.Out;
 }
 
 TEST(CliSmoke, MissingInputsAreIOErrors) {

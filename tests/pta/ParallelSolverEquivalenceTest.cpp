@@ -1,0 +1,220 @@
+//===-- tests/pta/ParallelSolverEquivalenceTest.cpp --------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential equivalence of the wave-parallel engine: ParallelSolver
+// must produce the bit-identical solution of the serial wave engine — at
+// every thread count — across all 12 workload profiles and all five
+// context policies plus the context-insensitive pre-analysis. Equality is
+// asserted on the canonical form (pta/ResultDigest.h) and, between thread
+// counts of the parallel engine itself, the digests must also agree with
+// each other (determinism, not just correctness).
+//
+// The merge-conservation stress checks the engine's own accounting: every
+// delta record buffered by a Phase-A worker must be folded by exactly one
+// Phase-B merge (Stats.DeltasBuffered == Stats.DeltasMerged), on a
+// crafted deep-copy-cycle program whose waves are dominated by cycle
+// collapsing — the hardest case for keeping buffered work and merged work
+// in sync, because representatives change between waves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "pta/ResultDigest.h"
+#include "workload/BenchmarkPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+using namespace mahjong::test;
+
+namespace {
+
+const unsigned ThreadCounts[] = {1, 2, 8};
+
+std::unique_ptr<PTAResult> runWith(const ir::Program &P,
+                                   const ir::ClassHierarchy &CH,
+                                   ContextKind Kind, unsigned K,
+                                   SolverEngine Engine, unsigned Threads) {
+  AnalysisOptions Opts;
+  Opts.Kind = Kind;
+  Opts.K = K;
+  Opts.Engine = Engine;
+  Opts.SolverThreads = Threads;
+  return runPointerAnalysis(P, CH, Opts);
+}
+
+void expectParallelMatchesWave(const ir::Program &P,
+                               const ir::ClassHierarchy &CH,
+                               ContextKind Kind, unsigned K,
+                               const std::string &Label) {
+  auto Wave = runWith(P, CH, Kind, K, SolverEngine::Wave, 0);
+  const uint64_t WaveDigest = canonicalResultDigest(*Wave);
+  for (unsigned Threads : ThreadCounts) {
+    auto Par =
+        runWith(P, CH, Kind, K, SolverEngine::ParallelWave, Threads);
+    std::string FirstDiff;
+    EXPECT_TRUE(equivalentResults(*Wave, *Par, &FirstDiff))
+        << Label << " @" << Threads << " threads: first differing fact:\n"
+        << FirstDiff;
+    EXPECT_EQ(WaveDigest, canonicalResultDigest(*Par))
+        << Label << " @" << Threads << " threads";
+    // The merge phase must account for every buffered delta record
+    // (conservation: nothing dropped, nothing folded twice).
+    EXPECT_EQ(Par->Stats.DeltasBuffered, Par->Stats.DeltasMerged)
+        << Label << " @" << Threads << " threads";
+    EXPECT_GT(Par->Stats.ParallelWaves, 0u) << Label;
+    // Aggregates the CLI prints must agree with the serial engine too.
+    EXPECT_EQ(Wave->Stats.VarPtsEntries, Par->Stats.VarPtsEntries) << Label;
+    EXPECT_EQ(Wave->CG.numCIEdges(), Par->CG.numCIEdges()) << Label;
+    EXPECT_EQ(Wave->CG.numCSEdges(), Par->CG.numCSEdges()) << Label;
+  }
+}
+
+/// The five context policies of the paper's main analyses.
+const std::pair<ContextKind, unsigned> Policies[] = {
+    {ContextKind::CallSite, 2}, {ContextKind::Object, 2},
+    {ContextKind::Object, 3},   {ContextKind::Type, 2},
+    {ContextKind::Type, 3},
+};
+
+} // namespace
+
+class ParallelSolverEquivalenceProfile
+    : public ::testing::TestWithParam<std::string> {};
+
+// All five context policies (plus ci) on each of the 12 profiles, each at
+// thread counts 1, 2 and 8 — on any machine the digests must be
+// bit-identical to the serial wave engine and to each other.
+TEST_P(ParallelSolverEquivalenceProfile, MatchesSerialWaveAtEveryThreadCount) {
+  auto P = workload::buildBenchmarkProgram(GetParam(), 0.04);
+  ir::ClassHierarchy CH(*P);
+  for (auto [Kind, K] : Policies)
+    expectParallelMatchesWave(*P, CH, Kind, K,
+                              GetParam() + "/" + analysisName(Kind, K));
+  expectParallelMatchesWave(*P, CH, ContextKind::Insensitive, 0,
+                            GetParam() + "/ci");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ParallelSolverEquivalenceProfile,
+    ::testing::ValuesIn(workload::benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+namespace {
+
+/// A program dominated by one deep copy cycle (v0 -> v1 -> ... -> v0) fed
+/// by several allocations, with loads/stores on cycle members. Wave-time
+/// cycle collapsing rewrites representatives between waves, so Phase-A
+/// target resolution and Phase-B merging must stay consistent across the
+/// collapse — the stress for delta conservation.
+std::string deepCopyCycleSource(unsigned N) {
+  std::string Src = R"(
+    class N { field next: N; }
+    class Main {
+      static method main() {
+        v0 = new N;
+)";
+  for (unsigned I = 1; I < N; ++I)
+    Src += "        v" + std::to_string(I) + " = v" + std::to_string(I - 1) +
+           ";\n";
+  Src += "        v0 = v" + std::to_string(N - 1) + ";\n";
+  Src += "        v" + std::to_string(N / 2) + " = new N;\n";
+  Src += "        v1.next = v" + std::to_string(N - 2) + ";\n";
+  Src += "        w = v" + std::to_string(N / 3) + ".next;\n";
+  Src += R"(
+      }
+    }
+  )";
+  return Src;
+}
+
+} // namespace
+
+TEST(ParallelSolverEquivalence, DeepCopyCycleMergeLosesNoDelta) {
+  auto P = parseOrDie(deepCopyCycleSource(64));
+  ir::ClassHierarchy CH(*P);
+
+  auto Wave =
+      runWith(*P, CH, ContextKind::Insensitive, 0, SolverEngine::Wave, 0);
+  for (unsigned Threads : ThreadCounts) {
+    auto Par = runWith(*P, CH, ContextKind::Insensitive, 0,
+                       SolverEngine::ParallelWave, Threads);
+    std::string FirstDiff;
+    EXPECT_TRUE(equivalentResults(*Wave, *Par, &FirstDiff))
+        << Threads << " threads: first differing fact:\n"
+        << FirstDiff;
+    // The cycle collapsed online in the parallel engine too...
+    EXPECT_GE(Par->Stats.SCCsCollapsed, 1u);
+    EXPECT_GE(Par->Stats.NodesCollapsed, 32u);
+    // ...and the shard merge conserved every buffered delta while real
+    // propagation work flowed through the buffers.
+    EXPECT_GT(Par->Stats.DeltasBuffered, 0u);
+    EXPECT_EQ(Par->Stats.DeltasBuffered, Par->Stats.DeltasMerged);
+    // Every cycle member converges to the identical solution.
+    EXPECT_EQ(pointeeObjs(*Par, "Main.main/0", "v0"),
+              pointeeObjs(*Wave, "Main.main/0", "v0"));
+    EXPECT_EQ(pointeeObjs(*Par, "Main.main/0", "v63"),
+              pointeeObjs(*Wave, "Main.main/0", "v63"));
+    EXPECT_EQ(pointeeObjs(*Par, "Main.main/0", "w"),
+              pointeeObjs(*Wave, "Main.main/0", "w"));
+  }
+}
+
+TEST(ParallelSolverEquivalence, CastFilteredEdgesStayPreciseAcrossShards) {
+  // Filtered edges cross shard boundaries: the pre-materialized filter
+  // bitmaps applied during the merge must reproduce the serial filtering.
+  auto P = parseOrDie(R"(
+    class T { }
+    class U { }
+    class Main {
+      static method main() {
+        a = new T;
+        b = a;
+        c = b;
+        a = c;
+        u = new U;
+        a = u;
+        d = (T) c;
+      }
+    }
+  )");
+  ir::ClassHierarchy CH(*P);
+  auto Wave =
+      runWith(*P, CH, ContextKind::Insensitive, 0, SolverEngine::Wave, 0);
+  auto Par = runWith(*P, CH, ContextKind::Insensitive, 0,
+                     SolverEngine::ParallelWave, 8);
+  std::string FirstDiff;
+  EXPECT_TRUE(equivalentResults(*Wave, *Par, &FirstDiff))
+      << "first differing fact:\n"
+      << FirstDiff;
+  EXPECT_EQ(pointeeTypes(*Par, "Main.main/0", "d"),
+            (std::vector<std::string>{"T"}))
+      << "the (T) cast must keep filtering when applied at merge time";
+}
+
+TEST(ParallelSolverEquivalence, MahjongHeapPreAnalysisAgrees) {
+  // The engine also drives the pre-analysis MAHJONG's heap modeling
+  // consumes; pin equivalence under a type-based abstraction as well.
+  auto P = workload::buildBenchmarkProgram("luindex", 0.05);
+  ir::ClassHierarchy CH(*P);
+  AllocTypeAbstraction TypeHeap(*P);
+  AnalysisOptions WaveOpts, ParOpts;
+  WaveOpts.Heap = ParOpts.Heap = &TypeHeap;
+  WaveOpts.Engine = SolverEngine::Wave;
+  ParOpts.Engine = SolverEngine::ParallelWave;
+  ParOpts.SolverThreads = 2;
+  auto RW = runPointerAnalysis(*P, CH, WaveOpts);
+  auto RP = runPointerAnalysis(*P, CH, ParOpts);
+  EXPECT_FALSE(RP->Stats.TimedOut);
+  std::string FirstDiff;
+  EXPECT_TRUE(equivalentResults(*RW, *RP, &FirstDiff))
+      << "first differing fact:\n"
+      << FirstDiff;
+}

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace mahjong;
 using namespace mahjong::serve;
 using namespace mahjong::test;
@@ -262,4 +264,91 @@ TEST(Snapshot, DedupSharesIdenticalSets) {
   EXPECT_GE(Sharers, 10u);
   // And the dedup table is strictly smaller than the variable count.
   EXPECT_LT(D.PtsSets.size(), D.Vars.size());
+}
+
+TEST(Snapshot, WritesV1ForOldConsumersAndStillLoadsIt) {
+  // encodeSnapshot(D, 1) emits the legacy plain-delta-list table; this
+  // build must keep decoding it (SnapshotMinSupported == 1) with content
+  // identical to the v2 path.
+  SnapshotData D = analyzedSnapshot();
+  std::string V1 = encodeSnapshot(D, 1);
+  std::string V2 = encodeSnapshot(D);
+  std::string Err;
+  auto D1 = decodeSnapshot(V1, Err);
+  ASSERT_TRUE(D1) << Err;
+  EXPECT_EQ(D1->FormatVersion, 1u);
+  auto D2 = decodeSnapshot(V2, Err);
+  ASSERT_TRUE(D2) << Err;
+  EXPECT_EQ(D2->FormatVersion, SnapshotVersion);
+
+  EXPECT_EQ(D1->PtsSets, D2->PtsSets);
+  ASSERT_EQ(D1->Vars.size(), D2->Vars.size());
+  for (size_t I = 0; I < D1->Vars.size(); ++I) {
+    EXPECT_EQ(D1->Vars[I].Name, D2->Vars[I].Name);
+    EXPECT_EQ(D1->Vars[I].PtsSet, D2->Vars[I].PtsSet);
+  }
+  // Query-facing projection agrees fact for fact.
+  for (uint32_t V = 0; V < D1->Vars.size(); ++V)
+    EXPECT_EQ(D1->ptsOfVar(V), D2->ptsOfVar(V)) << D1->varKey(V);
+}
+
+TEST(Snapshot, FrontCodingShrinksTheDedupTable) {
+  // A chain of growing supersets: v2's shared-prefix encoding must beat
+  // the v1 plain delta lists on exactly this near-identical-sets shape
+  // (the regression gate for the front-coded format).
+  std::string Src = R"(
+    class Main {
+      static method main() {
+)";
+  for (unsigned I = 0; I < 24; ++I) {
+    Src += "        a" + std::to_string(I) + " = new Main;\n";
+    Src += "        x" + std::to_string(I) + " = a" + std::to_string(I) +
+           ";\n";
+    if (I > 0)
+      // xI accumulates all allocations up to I: sets share long prefixes.
+      Src += "        x" + std::to_string(I) + " = x" +
+             std::to_string(I - 1) + ";\n";
+  }
+  Src += R"(
+      }
+    }
+  )";
+  Analyzed A = analyze(Src);
+  SnapshotData D = buildSnapshot(*A.R);
+
+  // The table really is lexicographically sorted (the v2 invariant) and
+  // keeps the empty set at index 0.
+  ASSERT_FALSE(D.PtsSets.empty());
+  EXPECT_TRUE(D.PtsSets[0].empty());
+  EXPECT_TRUE(std::is_sorted(D.PtsSets.begin(), D.PtsSets.end()));
+
+  std::string V1 = encodeSnapshot(D, 1);
+  std::string V2 = encodeSnapshot(D);
+  EXPECT_LT(V2.size(), V1.size())
+      << "front-coded v2 must be strictly smaller than v1 on overlapping "
+         "sets (v1="
+      << V1.size() << "B, v2=" << V2.size() << "B)";
+
+  // And the smaller encoding still round-trips bit-exact content.
+  std::string Err;
+  auto D2 = decodeSnapshot(V2, Err);
+  ASSERT_TRUE(D2) << Err;
+  EXPECT_EQ(D.PtsSets, D2->PtsSets);
+}
+
+TEST(Snapshot, RejectsMalformedFrontCodedTable) {
+  // A v2 PtsSets section whose first set claims a shared prefix with a
+  // nonexistent predecessor must fail decode, not crash.
+  std::string Payload;
+  // Section id 7 (SecPtsSets) mirrored from the writer; 1 set, Shared=3.
+  Payload.push_back(char(7));
+  std::string Body;
+  putVarint(Body, 1); // set count
+  putVarint(Body, 3); // shared prefix of 3 — but there is no previous set
+  putVarint(Body, 0); // empty suffix
+  putVarint(Payload, Body.size());
+  Payload += Body;
+  std::string Err;
+  EXPECT_EQ(decodeSnapshot(assemble(Payload), Err), nullptr);
+  EXPECT_FALSE(Err.empty());
 }

@@ -1,0 +1,162 @@
+//===-- tests/support/ParallelTest.cpp ---------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The shared chunking helpers (support/Parallel.h) and the wave-parallel
+// solver's per-worker DeltaBuffer (support/DeltaBuffer.h): boundary
+// arithmetic, exactly-once coverage, exception propagation, and the
+// single-store/zero-copy emission contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DeltaBuffer.h"
+#include "support/Parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace mahjong;
+
+TEST(Parallel, ChunkBeginPartitionsTheRange) {
+  // Every (N, NumChunks) pair yields contiguous, non-overlapping,
+  // exhaustive chunks whose sizes differ by at most one.
+  for (size_t N : {0u, 1u, 2u, 7u, 8u, 9u, 100u, 1023u})
+    for (size_t Chunks : {1u, 2u, 3u, 8u, 16u, 200u}) {
+      EXPECT_EQ(chunkBegin(N, Chunks, 0), 0u);
+      EXPECT_EQ(chunkBegin(N, Chunks, Chunks), N);
+      size_t MinSize = N, MaxSize = 0;
+      for (size_t C = 0; C < Chunks; ++C) {
+        size_t B = chunkBegin(N, Chunks, C), E = chunkBegin(N, Chunks, C + 1);
+        ASSERT_LE(B, E) << "N=" << N << " chunks=" << Chunks << " c=" << C;
+        MinSize = std::min(MinSize, E - B);
+        MaxSize = std::max(MaxSize, E - B);
+      }
+      EXPECT_LE(MaxSize - MinSize, 1u) << "N=" << N << " chunks=" << Chunks;
+    }
+}
+
+TEST(Parallel, ParallelForCoversEachIndexExactlyOnce) {
+  constexpr size_t N = 10007; // prime, so no chunk boundary aligns
+  ThreadPool Pool(4);
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  parallelFor(Pool, N, [&](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(Parallel, ParallelChunksAssignsItemsDeterministically) {
+  // The chunk an item lands in depends only on (N, NumChunks) — the
+  // contract the solver's shard buffers rely on.
+  constexpr size_t N = 1000, Chunks = 8;
+  ThreadPool Pool(4);
+  std::vector<size_t> First(N), Second(N);
+  for (std::vector<size_t> *Out : {&First, &Second})
+    parallelChunks(Pool, N, Chunks, [&](size_t C, size_t B, size_t E) {
+      for (size_t I = B; I < E; ++I)
+        (*Out)[I] = C;
+    });
+  EXPECT_EQ(First, Second);
+  // Contiguity: chunk ids are non-decreasing over the index space.
+  EXPECT_TRUE(std::is_sorted(First.begin(), First.end()));
+}
+
+TEST(Parallel, SmallRangeRunsInlineAsOneChunk) {
+  ThreadPool Pool(4);
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::thread::id Ran;
+  size_t Calls = 0;
+  parallelChunks(Pool, 3, 1, [&](size_t C, size_t B, size_t E) {
+    ++Calls;
+    Ran = std::this_thread::get_id();
+    EXPECT_EQ(C, 0u);
+    EXPECT_EQ(B, 0u);
+    EXPECT_EQ(E, 3u);
+  });
+  EXPECT_EQ(Calls, 1u);
+  EXPECT_EQ(Ran, Caller) << "single chunk must run on the calling thread";
+  // Empty range: body never runs.
+  parallelFor(Pool, 0, [&](size_t) { FAIL() << "body called for N=0"; });
+}
+
+TEST(Parallel, WorkerExceptionPropagatesFromWait) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(parallelFor(Pool, 512,
+                           [](size_t I) {
+                             if (I == 317)
+                               throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // The pool is reusable after an exception drained through wait().
+  std::atomic<size_t> Count{0};
+  parallelFor(Pool, 64, [&](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 64u);
+}
+
+TEST(DeltaBuffer, StoresDeltaOnceAndBucketsRecordsByShard) {
+  DeltaBuffer Buf;
+  Buf.reset(3);
+  EXPECT_EQ(Buf.numTargetShards(), 3u);
+
+  PointsToSet D1;
+  D1.insert(5);
+  D1.insert(900);
+  uint32_t S1 = Buf.addDelta(/*Node=*/42, std::move(D1));
+  // One stored set, fanned out to targets in different shards.
+  Buf.emit(/*TargetShard=*/0, /*Target=*/7, S1, /*FilterPlus1=*/0);
+  Buf.emit(2, 11, S1, 4);
+  Buf.emit(2, 13, S1, 0);
+
+  PointsToSet D2;
+  D2.insert(1);
+  uint32_t S2 = Buf.addDelta(43, std::move(D2));
+  Buf.emit(1, 9, S2, 0);
+
+  EXPECT_EQ(Buf.numDeltas(), 2u);
+  EXPECT_EQ(Buf.numRecords(), 4u);
+  ASSERT_EQ(Buf.records(0).size(), 1u);
+  ASSERT_EQ(Buf.records(1).size(), 1u);
+  ASSERT_EQ(Buf.records(2).size(), 2u);
+
+  // Records reference the single stored set by slot — no copies.
+  const DeltaBuffer::Record &R = Buf.records(2)[0];
+  EXPECT_EQ(R.Target, 11u);
+  EXPECT_EQ(R.DeltaSlot, S1);
+  EXPECT_EQ(R.FilterPlus1, 4u);
+  EXPECT_TRUE(Buf.delta(R.DeltaSlot).contains(900));
+  EXPECT_EQ(Buf.records(2)[1].DeltaSlot, S1);
+  EXPECT_EQ(Buf.records(1)[0].DeltaSlot, S2);
+
+  // Wave order of stored deltas is preserved for the growth phase.
+  EXPECT_EQ(Buf.deltaNode(0), 42u);
+  EXPECT_EQ(Buf.deltaNode(1), 43u);
+  EXPECT_EQ(Buf.deltaSet(1).size(), 1u);
+}
+
+TEST(DeltaBuffer, ResetClearsContentButKeepsShardCount) {
+  DeltaBuffer Buf;
+  Buf.reset(2);
+  PointsToSet D;
+  D.insert(3);
+  Buf.emit(1, 8, Buf.addDelta(1, std::move(D)), 0);
+  EXPECT_EQ(Buf.numRecords(), 1u);
+
+  Buf.reset(2);
+  EXPECT_EQ(Buf.numDeltas(), 0u);
+  EXPECT_EQ(Buf.numRecords(), 0u);
+  EXPECT_EQ(Buf.numTargetShards(), 2u);
+  EXPECT_TRUE(Buf.records(0).empty());
+  EXPECT_TRUE(Buf.records(1).empty());
+
+  // Re-bucketing to a different shard count.
+  Buf.reset(5);
+  EXPECT_EQ(Buf.numTargetShards(), 5u);
+}
