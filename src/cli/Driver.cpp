@@ -10,16 +10,23 @@
 #include "core/GraphExport.h"
 #include "core/Mahjong.h"
 #include "ir/Parser.h"
+#include "ir/PrettyPrinter.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pta/FactsExport.h"
 #include "serve/QueryEngine.h"
 #include "serve/Snapshot.h"
 #include "serve/Traffic.h"
+#include "support/Timer.h"
+#include "workload/BenchmarkPrograms.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,9 +43,14 @@ int usage(std::ostream &Err) {
          "                    [--heap site|type|mahjong] [--budget SECONDS]\n"
          "                    [--solver wave|naive|parallel] [--threads N]\n"
          "                    [--facts DIR] [--save-snapshot FILE.mjsnap]\n"
+         "                    [--trace-out FILE.json] [--metrics-out FILE]\n"
+         "                    [--stats-json FILE]\n"
+         "  gen <profile> <out.mj> [--scale S]   write a workload profile "
+         "as .mj source\n"
          "  query <file.mjsnap> <query...>   e.g. query s.mjsnap points-to "
-         "Main.main/0::x\n"
-         "  serve-bench <file.mjsnap> [--spec FILE] [--smoke]\n"
+         "Main.main/0::x (or: stats)\n"
+         "  serve-bench <file.mjsnap> [--spec FILE] [--smoke] "
+         "[--heartbeat SECONDS]\n"
          "  merge-report <file.mj>\n"
          "  dot-fpg <file.mj> <objIndex>\n"
          "  dot-dfa <file.mj> <objIndex>\n"
@@ -160,19 +172,62 @@ bool parseAnalysis(const std::string &Name, pta::ContextKind &Kind,
   return false;
 }
 
+/// Installs a trace sink for the enclosing scope and guarantees it is
+/// uninstalled (and every span quiesced from this thread's view) before
+/// the sink object dies — even on early error returns.
+class ScopedTraceSink {
+public:
+  explicit ScopedTraceSink(bool Enabled) {
+    if (Enabled)
+      obs::installTraceSink(&Sink);
+  }
+  ~ScopedTraceSink() { release(); }
+  /// Uninstalls so the sink can be safely serialized.
+  void release() {
+    if (obs::currentTraceSink() == &Sink)
+      obs::installTraceSink(nullptr);
+  }
+  obs::TraceSink &sink() { return Sink; }
+
+private:
+  obs::TraceSink Sink;
+};
+
+/// Writes \p Body to \p Path; reports on \p Err and returns false on
+/// failure.
+bool writeTextFile(const std::string &Path, const std::string &Body,
+                   std::ostream &Err) {
+  std::ofstream OutF(Path, std::ios::binary);
+  if (!OutF || !(OutF << Body) || !OutF.flush()) {
+    Err << "error: cannot write '" << Path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+/// True when \p Path names a Prometheus text file (.prom); anything else
+/// gets the JSON rendering.
+bool wantsPrometheus(const std::string &Path) {
+  return Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".prom") == 0;
+}
+
 int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
                std::ostream &Err) {
   if (Argc < 3)
     return usage(Err);
   std::string Analysis = "2obj", HeapKind = "mahjong", SolverKind = "wave",
-              FactsDir, SnapPath, BudgetStr, ThreadsStr;
+              FactsDir, SnapPath, BudgetStr, ThreadsStr, TraceOut,
+              MetricsOut, StatsJson;
   FlagParser Flags(Argc, Argv, 3, Err);
   while (!Flags.done()) {
     if (Flags.take("--analysis", Analysis) || Flags.take("--heap", HeapKind) ||
         Flags.take("--budget", BudgetStr) || Flags.take("--facts", FactsDir) ||
         Flags.take("--solver", SolverKind) ||
         Flags.take("--threads", ThreadsStr) ||
-        Flags.take("--save-snapshot", SnapPath))
+        Flags.take("--save-snapshot", SnapPath) ||
+        Flags.take("--trace-out", TraceOut) ||
+        Flags.take("--metrics-out", MetricsOut) ||
+        Flags.take("--stats-json", StatsJson))
       continue;
     return Flags.malformed() ? ExitUsage : Flags.unknown();
   }
@@ -211,11 +266,29 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
     }
     SolverThreads = static_cast<unsigned>(N);
   }
+  // The sink must outlive every traced phase below; the guard uninstalls
+  // it on all exits so spans can never outlive their destination.
+  ScopedTraceSink Trace(!TraceOut.empty());
+  obs::MetricsRegistry Reg;
+
   int Exit = ExitOk;
-  auto P = load(Argv[2], Err, Exit);
+  Timer PhaseClock;
+  std::unique_ptr<ir::Program> P;
+  {
+    obs::ScopedSpan Span("parse");
+    P = load(Argv[2], Err, Exit);
+  }
   if (!P)
     return Exit;
-  ir::ClassHierarchy CH(*P);
+  Reg.gauge("phase.parse_seconds").set(PhaseClock.seconds());
+  PhaseClock.reset();
+  std::unique_ptr<ir::ClassHierarchy> CHPtr;
+  {
+    obs::ScopedSpan Span("cha");
+    CHPtr = std::make_unique<ir::ClassHierarchy>(*P);
+  }
+  ir::ClassHierarchy &CH = *CHPtr;
+  Reg.gauge("phase.cha_seconds").set(PhaseClock.seconds());
 
   std::unique_ptr<pta::AllocTypeAbstraction> TypeHeap;
   core::MahjongResult MR;
@@ -234,6 +307,11 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
         << MR.numMahjongObjects() << " objects (pre " << std::fixed
         << std::setprecision(2)
         << MR.PreSeconds + MR.FPGSeconds + MR.MahjongSeconds << "s)\n";
+    Reg.gauge("phase.pre_analysis_seconds").set(MR.PreSeconds);
+    Reg.gauge("phase.fpg_build_seconds").set(MR.FPGSeconds);
+    Reg.gauge("phase.mahjong_merge_seconds").set(MR.MahjongSeconds);
+    Reg.counter("mahjong.alloc_sites").set(MR.numAllocSiteObjects());
+    Reg.counter("mahjong.objects").set(MR.numMahjongObjects());
   } else if (HeapKind == "type") {
     TypeHeap = std::make_unique<pta::AllocTypeAbstraction>(*P);
     Opts.Heap = TypeHeap.get();
@@ -242,7 +320,12 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
     return ExitUsage;
   }
 
-  auto R = pta::runPointerAnalysis(*P, CH, Opts);
+  std::unique_ptr<pta::PTAResult> R;
+  {
+    obs::ScopedSpan Span("main-analysis");
+    R = pta::runPointerAnalysis(*P, CH, Opts);
+  }
+  Reg.gauge("phase.main_analysis_seconds").set(R->Stats.Seconds);
   if (R->Stats.TimedOut) {
     Err << Analysis << ": exceeded the " << std::fixed
         << std::setprecision(0) << Budget << "s budget (unscalable)\n";
@@ -274,13 +357,91 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
     Out << "facts written to " << FactsDir << "/*.facts\n";
   }
   if (!SnapPath.empty()) {
+    PhaseClock.reset();
     std::string SaveErr;
     if (!serve::saveSnapshot(*R, SnapPath, SaveErr)) {
       Err << "error: " << SaveErr << "\n";
       return ExitIOError;
     }
+    Reg.gauge("phase.snapshot_encode_seconds").set(PhaseClock.seconds());
     Out << "snapshot written to " << SnapPath << "\n";
   }
+
+  // Assemble the rest of the registry: every PTAStats field, the client
+  // metrics, and the per-wave latency histogram of this run.
+  pta::exportStats(R->Stats, Reg);
+  Reg.counter("clients.reachable_methods").set(CR.ReachableMethods);
+  Reg.counter("clients.call_graph_edges").set(CR.CallGraphEdges);
+  Reg.counter("clients.poly_call_sites").set(CR.PolyCallSites);
+  Reg.counter("clients.mono_call_sites").set(CR.MonoCallSites);
+  Reg.counter("clients.may_fail_casts").set(CR.MayFailCasts);
+  Reg.counter("clients.total_casts").set(CR.TotalCasts);
+  if (R->WaveMicros.count() > 0)
+    Reg.histogram("pta.wave_us").mergeFrom(R->WaveMicros);
+
+  if (!TraceOut.empty()) {
+    // Quiesce: no traced work remains, so uninstall before serializing.
+    Trace.release();
+    std::string TraceErr;
+    if (!Trace.sink().writeFile(TraceOut, TraceErr)) {
+      Err << "error: " << TraceErr << "\n";
+      return ExitIOError;
+    }
+    Out << "trace written to " << TraceOut << " ("
+        << Trace.sink().eventCount() << " events, "
+        << Trace.sink().laneCount() << " lanes)\n";
+  }
+  if (!MetricsOut.empty()) {
+    if (!writeTextFile(MetricsOut,
+                       wantsPrometheus(MetricsOut) ? Reg.toPrometheus()
+                                                   : Reg.toJson(),
+                       Err))
+      return ExitIOError;
+    Out << "metrics written to " << MetricsOut << "\n";
+  }
+  if (!StatsJson.empty()) {
+    if (!writeTextFile(StatsJson, Reg.toJson(), Err))
+      return ExitIOError;
+    Out << "stats written to " << StatsJson << "\n";
+  }
+  return ExitOk;
+}
+
+int cmdGen(int Argc, const char *const *Argv, std::ostream &Out,
+           std::ostream &Err) {
+  if (Argc < 4)
+    return usage(Err);
+  std::string Profile = Argv[2], OutPath = Argv[3], ScaleStr;
+  FlagParser Flags(Argc, Argv, 4, Err);
+  while (!Flags.done()) {
+    if (Flags.take("--scale", ScaleStr))
+      continue;
+    return Flags.malformed() ? ExitUsage : Flags.unknown();
+  }
+  double Scale = 1.0;
+  if (!ScaleStr.empty()) {
+    char *End = nullptr;
+    Scale = std::strtod(ScaleStr.c_str(), &End);
+    if (!End || *End != '\0' || Scale <= 0) {
+      Err << "error: flag '--scale' needs a positive number, got '"
+          << ScaleStr << "'\n";
+      return ExitUsage;
+    }
+  }
+  const std::vector<std::string> &Names = workload::benchmarkNames();
+  if (std::find(Names.begin(), Names.end(), Profile) == Names.end()) {
+    Err << "error: unknown profile '" << Profile << "' (expected one of:";
+    for (const std::string &N : Names)
+      Err << " " << N;
+    Err << ")\n";
+    return ExitUsage;
+  }
+  std::unique_ptr<ir::Program> P =
+      workload::buildBenchmarkProgram(Profile, Scale);
+  if (!writeTextFile(OutPath, ir::printProgram(*P), Err))
+    return ExitIOError;
+  Out << Profile << " written to " << OutPath << " (" << P->numMethods()
+      << " methods, " << P->numObjs() << " objects)\n";
   return ExitOk;
 }
 
@@ -318,17 +479,29 @@ int cmdServeBench(int Argc, const char *const *Argv, std::ostream &Out,
                   std::ostream &Err) {
   if (Argc < 3)
     return usage(Err);
-  std::string SpecPath;
+  std::string SpecPath, HeartbeatStr;
   bool Smoke = false;
   FlagParser Flags(Argc, Argv, 3, Err);
   while (!Flags.done()) {
-    if (Flags.take("--spec", SpecPath))
+    if (Flags.take("--spec", SpecPath) ||
+        Flags.take("--heartbeat", HeartbeatStr))
       continue;
     if (Flags.takeBare("--smoke")) {
       Smoke = true;
       continue;
     }
     return Flags.malformed() ? ExitUsage : Flags.unknown();
+  }
+  double Heartbeat = -1;
+  if (!HeartbeatStr.empty()) {
+    char *End = nullptr;
+    Heartbeat = std::strtod(HeartbeatStr.c_str(), &End);
+    if (!End || *End != '\0' || Heartbeat < 0) {
+      Err << "error: flag '--heartbeat' needs a non-negative number, "
+             "got '"
+          << HeartbeatStr << "'\n";
+      return ExitUsage;
+    }
   }
   serve::QueryWorkload W;
   if (!SpecPath.empty()) {
@@ -356,8 +529,12 @@ int cmdServeBench(int Argc, const char *const *Argv, std::ostream &Out,
   auto D = loadSnap(Argv[2], Err, Exit);
   if (!D)
     return Exit;
+  // --heartbeat overrides the spec; progress lines go to stderr so the
+  // JSON report on stdout stays machine-parseable.
+  if (Heartbeat >= 0)
+    W.HeartbeatSeconds = Heartbeat;
   serve::QueryEngine Engine(D);
-  serve::TrafficReport Rep = serve::runTraffic(Engine, W);
+  serve::TrafficReport Rep = serve::runTraffic(Engine, W, &Err);
   Out << Rep.toJson() << "\n";
   if (Rep.Queries == 0 || Rep.Failed != 0) {
     Err << "error: serve-bench answered " << Rep.Queries << " queries with "
@@ -440,6 +617,8 @@ int mahjong::cli::runCli(int Argc, const char *const *Argv, std::ostream &Out,
   const char *Cmd = Argv[1];
   if (std::strcmp(Cmd, "analyze") == 0)
     return cmdAnalyze(Argc, Argv, Out, Err);
+  if (std::strcmp(Cmd, "gen") == 0)
+    return cmdGen(Argc, Argv, Out, Err);
   if (std::strcmp(Cmd, "query") == 0)
     return cmdQuery(Argc, Argv, Out, Err);
   if (std::strcmp(Cmd, "serve-bench") == 0)

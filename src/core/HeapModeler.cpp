@@ -8,6 +8,7 @@
 
 #include "core/DFAPartition.h"
 #include "core/EquivChecker.h"
+#include "obs/Trace.h"
 #include "support/Parallel.h"
 #include "support/Timer.h"
 
@@ -131,23 +132,32 @@ HeapModelerResult mahjong::core::modelHeap(const FieldPointsToGraph &G,
   // cache (the paper's synchronization-free scheme). Condition-2 verdicts
   // — positive and negative — are memoized here too, so the per-bucket
   // checks below are pure lookups.
-  for (auto &[TypeIdx, Bucket] : Buckets)
-    for (ObjId O : Bucket.Objs)
-      Cache.materialize(Cache.startFor(O));
-  if (Opts.EnforceCondition2)
+  {
+    obs::ScopedSpan Span("dfa-materialize");
     for (auto &[TypeIdx, Bucket] : Buckets)
       for (ObjId O : Bucket.Objs)
-        Cache.allSingletonOutputs(Cache.startFor(O));
+        Cache.materialize(Cache.startFor(O));
+    if (Opts.EnforceCondition2)
+      for (auto &[TypeIdx, Bucket] : Buckets)
+        for (ObjId O : Bucket.Objs)
+          Cache.allSingletonOutputs(Cache.startFor(O));
+  }
 
   std::unique_ptr<DFAPartition> Partition;
-  if (Opts.UsePartitionIndex)
+  if (Opts.UsePartitionIndex) {
+    obs::ScopedSpan Span("dfa-minimize");
     Partition = std::make_unique<DFAPartition>(Cache);
+  }
 
   // The bucket phase sees the cache as const: serial and parallel runs
   // execute the identical read-only code path, so their results agree
   // bit for bit and worker threads cannot write to shared state.
   const DFACache &SharedCache = Cache;
   auto RunBucket = [&, Partition = Partition.get()](TypeBucket &Bucket) {
+    // Under the parallel fan-out this runs on a pool worker, so each
+    // bucket span lands in its worker's trace lane.
+    obs::ScopedSpan Span("merge-bucket");
+    Span.arg("objs", Bucket.Objs.size());
     if (Partition)
       Bucket.Groups = groupByBlockOracle(
           Bucket.Objs, SharedCache,

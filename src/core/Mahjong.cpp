@@ -6,6 +6,7 @@
 
 #include "core/Mahjong.h"
 
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 using namespace mahjong;
@@ -22,23 +23,32 @@ MahjongResult mahjong::core::buildMahjongHeap(const Program &P,
   // context-insensitive Andersen with the allocation-site abstraction
   // (§3.1); optionally a more precise variant (see MahjongOptions).
   Timer Clock;
-  AnalysisOptions PreOpts;
-  PreOpts.Kind = Opts.PreKind;
-  PreOpts.K = Opts.PreK;
-  PreOpts.TimeBudgetSeconds = Opts.PreAnalysisBudgetSeconds;
-  R.Pre = runPointerAnalysis(P, CH, PreOpts);
+  {
+    obs::ScopedSpan Span("pre-analysis");
+    AnalysisOptions PreOpts;
+    PreOpts.Kind = Opts.PreKind;
+    PreOpts.K = Opts.PreK;
+    PreOpts.TimeBudgetSeconds = Opts.PreAnalysisBudgetSeconds;
+    R.Pre = runPointerAnalysis(P, CH, PreOpts);
+  }
   R.PreSeconds = Clock.seconds();
 
   // Stage 2: the field points-to graph.
   Clock.reset();
-  R.FPG = std::make_unique<FieldPointsToGraph>(*R.Pre);
+  {
+    obs::ScopedSpan Span("fpg-build");
+    R.FPG = std::make_unique<FieldPointsToGraph>(*R.Pre);
+  }
   R.FPGSeconds = Clock.seconds();
 
   // Stage 3: merge equivalent automata (Algorithm 1).
   Clock.reset();
-  R.Cache = std::make_unique<DFACache>(*R.FPG);
-  R.Modeling = modelHeap(*R.FPG, *R.Cache, Opts.Modeler);
-  R.MOM = R.Modeling.MOM;
+  {
+    obs::ScopedSpan Span("automata-merge");
+    R.Cache = std::make_unique<DFACache>(*R.FPG);
+    R.Modeling = modelHeap(*R.FPG, *R.Cache, Opts.Modeler);
+    R.MOM = R.Modeling.MOM;
+  }
   R.MahjongSeconds = Clock.seconds();
 
   R.Heap = std::make_unique<MergedHeapAbstraction>(R.MOM, "mahjong");

@@ -1,0 +1,133 @@
+//===-- obs/Metrics.cpp - Named counters, gauges, histograms -----------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+using namespace mahjong;
+using namespace mahjong::obs;
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+LogHistogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name), std::make_unique<LogHistogram>())
+             .first;
+  return *It->second;
+}
+
+namespace {
+
+/// Shortest-round-trip-ish double rendering: %.6g is stable across
+/// platforms for the magnitudes we emit and never prints locale commas.
+std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+std::string promName(const std::string &Name) {
+  std::string S = "mahjong_";
+  for (char C : Name)
+    S += (std::isalnum(static_cast<unsigned char>(C)) || C == '_') ? C : '_';
+  return S;
+}
+
+} // namespace
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": " << C->value();
+    First = false;
+  }
+  OS << (First ? "},\n" : "\n  },\n");
+  OS << "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    OS << (First ? "\n" : ",\n")
+       << "    \"" << Name << "\": " << fmtDouble(G->value());
+    First = false;
+  }
+  OS << (First ? "},\n" : "\n  },\n");
+  OS << "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": {\n";
+    OS << "      \"count\": " << H->count() << ",\n";
+    OS << "      \"sum\": " << H->sum() << ",\n";
+    OS << "      \"max\": " << H->max() << ",\n";
+    OS << "      \"mean\": " << fmtDouble(H->mean()) << ",\n";
+    OS << "      \"p50\": " << H->percentile(0.50) << ",\n";
+    OS << "      \"p95\": " << H->percentile(0.95) << ",\n";
+    OS << "      \"p99\": " << H->percentile(0.99) << ",\n";
+    OS << "      \"buckets\": [";
+    bool FirstB = true;
+    for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I)
+      if (uint64_t N = H->countAt(I)) {
+        OS << (FirstB ? "" : ", ") << "[" << LogHistogram::bucketLow(I)
+           << ", " << N << "]";
+        FirstB = false;
+      }
+    OS << "]\n    }";
+    First = false;
+  }
+  OS << (First ? "}\n" : "\n  }\n") << "}\n";
+  return OS.str();
+}
+
+std::string MetricsRegistry::toPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  for (const auto &[Name, C] : Counters) {
+    std::string N = promName(Name);
+    OS << "# TYPE " << N << " counter\n" << N << " " << C->value() << "\n";
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string N = promName(Name);
+    OS << "# TYPE " << N << " gauge\n"
+       << N << " " << fmtDouble(G->value()) << "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string N = promName(Name);
+    OS << "# TYPE " << N << " histogram\n";
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I)
+      if (uint64_t C = H->countAt(I)) {
+        Cum += C;
+        OS << N << "_bucket{le=\"" << LogHistogram::bucketHigh(I) << "\"} "
+           << Cum << "\n";
+      }
+    OS << N << "_bucket{le=\"+Inf\"} " << H->count() << "\n";
+    OS << N << "_sum " << H->sum() << "\n";
+    OS << N << "_count " << H->count() << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,150 @@
+//===-- obs/Trace.cpp - Phase tracing with per-thread lanes ------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+
+using namespace mahjong;
+using namespace mahjong::obs;
+
+namespace {
+
+std::atomic<TraceSink *> GlobalSink{nullptr};
+std::atomic<uint64_t> NextGeneration{1};
+
+/// Per-thread lane cache. (Owner, Gen) must both match the current sink
+/// before Lane is dereferenced, so a stale pointer into a destroyed sink
+/// — even one whose address was reused — is never followed.
+struct LaneCache {
+  TraceSink *Owner = nullptr;
+  uint64_t Gen = 0;
+  TraceSink::Lane *Lane = nullptr;
+};
+thread_local LaneCache TLLane;
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void writeEscaped(std::ostream &OS, const char *S) {
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      OS << ' ';
+    else
+      OS << C;
+  }
+}
+
+} // namespace
+
+TraceSink::TraceSink()
+    : Gen(NextGeneration.fetch_add(1, std::memory_order_relaxed)),
+      EpochNs(steadyNowNs()) {}
+
+uint64_t TraceSink::nowNs() const { return steadyNowNs() - EpochNs; }
+
+TraceSink::Lane &TraceSink::laneForCurrentThread() {
+  if (TLLane.Owner == this && TLLane.Gen == Gen)
+    return *TLLane.Lane;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Lanes.emplace_back();
+  Lane &L = Lanes.back();
+  L.Tid = static_cast<uint32_t>(Lanes.size() - 1);
+  TLLane = {this, Gen, &L};
+  return L;
+}
+
+size_t TraceSink::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const Lane &L : Lanes)
+    N += L.Events.size();
+  return N;
+}
+
+size_t TraceSink::laneCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Lanes.size();
+}
+
+void TraceSink::write(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  OS << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n  ";
+  };
+  // Lane 0 is whichever thread recorded its first span first — in the
+  // CLI that is the main thread; pool workers take the later lanes.
+  for (const Lane &L : Lanes) {
+    Sep();
+    OS << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << L.Tid << ", \"args\": {\"name\": \"lane-" << L.Tid << "\"}}";
+  }
+  OS << std::fixed << std::setprecision(3);
+  for (const Lane &L : Lanes) {
+    // Events are pushed at span *destruction*; re-sort by start time so
+    // viewers and trace-validate see each lane in chronological order.
+    std::vector<const Event *> Sorted;
+    Sorted.reserve(L.Events.size());
+    for (const Event &E : L.Events)
+      Sorted.push_back(&E);
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const Event *A, const Event *B) {
+                       if (A->StartNs != B->StartNs)
+                         return A->StartNs < B->StartNs;
+                       // Equal starts: the longer span is the outer one.
+                       return A->DurNs > B->DurNs;
+                     });
+    for (const Event *E : Sorted) {
+      Sep();
+      OS << "{\"name\": \"";
+      writeEscaped(OS, E->Name);
+      OS << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << L.Tid
+         << ", \"ts\": " << E->StartNs / 1000.0
+         << ", \"dur\": " << E->DurNs / 1000.0;
+      if (!E->Args.empty())
+        OS << ", \"args\": {" << E->Args << "}";
+      OS << "}";
+    }
+  }
+  OS << "\n]}\n";
+}
+
+bool TraceSink::writeFile(const std::string &Path, std::string &Err) const {
+  std::ofstream OS(Path);
+  if (!OS) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  write(OS);
+  OS.flush();
+  if (!OS) {
+    Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void mahjong::obs::installTraceSink(TraceSink *S) {
+  GlobalSink.store(S, std::memory_order_release);
+}
+
+TraceSink *mahjong::obs::currentTraceSink() {
+  return GlobalSink.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,152 @@
+//===-- obs/Trace.h - Phase tracing with per-thread lanes -----*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A span tracer for the analysis pipeline. Scoped spans record complete
+/// ("X") events — name, start, duration, optional integer args — into
+/// per-thread lanes of a process-global TraceSink, which serializes to
+/// Chrome trace_event JSON (open in chrome://tracing or
+/// https://ui.perfetto.dev). See docs/observability.md.
+///
+/// Cost model: with no sink installed a ScopedSpan is one relaxed atomic
+/// load in the constructor and one pointer test in the destructor —
+/// instrumentation stays in hot paths permanently (enforced by
+/// bench/bench_obs_overhead.cpp). With a sink installed, a span costs two
+/// steady_clock reads plus one vector push into a buffer only its own
+/// thread touches, so the ParallelSolver / HeapModeler fan-outs trace
+/// TSan-clean with one lane per worker.
+///
+/// Concurrency contract: install a sink before launching traced work and
+/// uninstall it after the work quiesces (thread pools joined or idle);
+/// write() must not run concurrently with span recording. Lanes register
+/// lazily under a mutex on each thread's first span per sink generation;
+/// a generation counter makes cached lane pointers safe against a sink
+/// being destroyed and another allocated at the same address.
+///
+/// Span names must be string literals (or otherwise outlive the sink).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_OBS_TRACE_H
+#define MAHJONG_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mahjong::obs {
+
+/// Collects spans from all threads; serializes Chrome trace JSON.
+class TraceSink {
+public:
+  /// One completed span. Times are nanoseconds since the sink's epoch.
+  struct Event {
+    const char *Name;
+    uint64_t StartNs;
+    uint64_t DurNs;
+    std::string Args; ///< preformatted JSON members ("\"k\":1"), may be empty
+  };
+
+  /// One thread's event buffer. Only the owning thread appends.
+  struct Lane {
+    std::vector<Event> Events;
+    uint32_t Tid = 0;
+  };
+
+  TraceSink();
+  TraceSink(const TraceSink &) = delete;
+  TraceSink &operator=(const TraceSink &) = delete;
+
+  /// Nanoseconds since this sink was created.
+  uint64_t nowNs() const;
+
+  /// The calling thread's lane, registering it on first use. The
+  /// returned reference is stable for the sink's lifetime.
+  Lane &laneForCurrentThread();
+
+  /// Serializes everything recorded so far as Chrome trace_event JSON.
+  /// Call only after traced work has quiesced.
+  void write(std::ostream &OS) const;
+
+  /// write() to \p Path. \returns false with a diagnostic in \p Err.
+  bool writeFile(const std::string &Path, std::string &Err) const;
+
+  /// Total spans recorded across all lanes (quiesced threads only).
+  size_t eventCount() const;
+  size_t laneCount() const;
+
+  uint64_t generation() const { return Gen; }
+
+private:
+  const uint64_t Gen; ///< process-unique, guards thread-local lane caches
+  const uint64_t EpochNs;
+  mutable std::mutex Mu;
+  std::deque<Lane> Lanes; ///< deque: lane addresses are stable
+};
+
+/// Installs \p S as the process-global sink (null uninstalls). Must not
+/// race with span construction; see the concurrency contract above.
+void installTraceSink(TraceSink *S);
+
+/// The installed sink, or null. One relaxed load.
+TraceSink *currentTraceSink();
+
+inline bool tracingEnabled() { return currentTraceSink() != nullptr; }
+
+/// Records one span over its lexical scope into the current sink. A
+/// no-op (one relaxed load, one branch) when no sink is installed.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name)
+      : Name(Name), Sink(currentTraceSink()) {
+    if (Sink)
+      StartNs = Sink->nowNs();
+  }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// Attaches an integer argument shown in the trace viewer.
+  void arg(const char *Key, uint64_t Value) {
+    if (!Sink)
+      return;
+    if (!Args.empty())
+      Args += ',';
+    Args += '"';
+    Args += Key;
+    Args += "\":";
+    Args += std::to_string(Value);
+  }
+
+  ~ScopedSpan() {
+    if (!Sink)
+      return;
+    TraceSink::Lane &L = Sink->laneForCurrentThread();
+    L.Events.push_back(
+        {Name, StartNs, Sink->nowNs() - StartNs, std::move(Args)});
+  }
+
+private:
+  const char *Name;
+  TraceSink *Sink;
+  uint64_t StartNs = 0;
+  std::string Args;
+};
+
+// Statement-position convenience: MAHJONG_SPAN("phase-name");
+#define MAHJONG_OBS_CONCAT2(A, B) A##B
+#define MAHJONG_OBS_CONCAT(A, B) MAHJONG_OBS_CONCAT2(A, B)
+#define MAHJONG_SPAN(NAME)                                                    \
+  ::mahjong::obs::ScopedSpan MAHJONG_OBS_CONCAT(ObsSpan_, __LINE__) { NAME }
+
+} // namespace mahjong::obs
+
+#endif // MAHJONG_OBS_TRACE_H

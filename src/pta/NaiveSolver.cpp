@@ -127,7 +127,8 @@ bool NaiveSolver::run() {
   }
 
   for (uint32_t I = 0; I < R.Nodes.size(); ++I)
-    R.Stats.SetBytes += R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
+    R.Stats.WorkingSetBytes +=
+        R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
 
   R.Stats.Seconds = Clock.seconds();
   R.Stats.WorklistPops = Pops;

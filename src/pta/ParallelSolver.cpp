@@ -6,6 +6,7 @@
 
 #include "pta/ParallelSolver.h"
 
+#include "obs/Trace.h"
 #include "support/Parallel.h"
 
 #include <algorithm>
@@ -62,6 +63,9 @@ uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
                                     size_t Begin, size_t End, DeltaBuffer &Buf,
                                     const Timer &Clock) {
   uint64_t Pops = 0;
+  // Runs on a pool worker: the span lands in that worker's trace lane.
+  obs::ScopedSpan Span("sweep-chunk");
+  Span.arg("nodes", End - Begin);
   for (size_t I = Begin; I < End; ++I) {
     uint32_t N = Wave[I];
     // Wave entries are unique (a node enters NextWave only on its
@@ -103,6 +107,7 @@ uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
 }
 
 void ParallelSolver::mergeShard(uint32_t Shard) {
+  obs::ScopedSpan Span("merge-shard");
   std::vector<uint32_t> &Seg = Segments[Shard];
   uint64_t Merged = 0, FilterHits = 0;
   // Fixed buffer order 0..S-1, emission order within a bucket: the fold
@@ -176,6 +181,9 @@ bool ParallelSolver::run() {
     ++R.Stats.ParallelWaves;
     Wave.swap(NextWave);
     sortWave(Wave);
+    obs::ScopedSpan WaveSpan("pwave");
+    WaveSpan.arg("nodes", Wave.size());
+    Timer WaveClock;
 
     // Phase A: sharded sweep. Workers write only rows of nodes they pop
     // and their private buffer; structural state is read-only.
@@ -183,9 +191,12 @@ bool ParallelSolver::run() {
       Buffers[C].reset(NumShards);
       ChunkPops[C] = 0;
     }
-    forEachChunk(Wave.size(), [&](size_t C, size_t Begin, size_t End) {
-      ChunkPops[C] = sweepChunk(Wave, Begin, End, Buffers[C], Clock);
-    });
+    {
+      obs::ScopedSpan Phase("sweep");
+      forEachChunk(Wave.size(), [&](size_t C, size_t Begin, size_t End) {
+        ChunkPops[C] = sweepChunk(Wave, Begin, End, Buffers[C], Clock);
+      });
+    }
     for (uint32_t C = 0; C < NumShards; ++C) {
       Pops += ChunkPops[C];
       uint64_t Emitted = Buffers[C].numRecords();
@@ -199,10 +210,13 @@ bool ParallelSolver::run() {
 
     // Phase B: sharded merge. Worker t owns exactly the Pending/Queued
     // rows of targets in shard t.
-    forEachChunk(NumShards, [&](size_t, size_t Begin, size_t End) {
-      for (size_t T = Begin; T < End; ++T)
-        mergeShard(static_cast<uint32_t>(T));
-    });
+    {
+      obs::ScopedSpan Phase("merge");
+      forEachChunk(NumShards, [&](size_t, size_t Begin, size_t End) {
+        for (size_t T = Begin; T < End; ++T)
+          mergeShard(static_cast<uint32_t>(T));
+      });
+    }
     for (uint32_t T = 0; T < NumShards; ++T) {
       R.Stats.DeltasMerged += ShardMerged[T];
       R.Stats.FilterBitmapHits += ShardFilterHits[T];
@@ -213,7 +227,11 @@ bool ParallelSolver::run() {
            "merge phase lost or duplicated a buffered delivery");
 
     // Phase C: serialized growth handlers in wave order.
-    runGrowthHandlers();
+    {
+      obs::ScopedSpan Phase("growth");
+      runGrowthHandlers();
+    }
+    R.WaveMicros.record(static_cast<uint64_t>(WaveClock.seconds() * 1e6));
     Wave.clear();
   }
 

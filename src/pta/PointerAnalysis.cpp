@@ -6,6 +6,8 @@
 
 #include "pta/PointerAnalysis.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pta/NaiveSolver.h"
 #include "pta/ParallelSolver.h"
 #include "pta/Solver.h"
@@ -66,15 +68,40 @@ mahjong::pta::runPointerAnalysis(const Program &P, const ClassHierarchy &CH,
   R->AnalysisName = analysisName(Opts.Kind, Opts.K);
   R->HeapName = Heap.name();
   if (Opts.Engine == SolverEngine::Naive) {
+    obs::ScopedSpan Span("solve/naive");
     NaiveSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
     S.run();
   } else if (Opts.Engine == SolverEngine::ParallelWave) {
+    obs::ScopedSpan Span("solve/parallel");
     ParallelSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds,
                      Opts.SolverThreads);
     S.run();
   } else {
+    obs::ScopedSpan Span("solve/wave");
     Solver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
     S.run();
   }
   return R;
+}
+
+void mahjong::pta::exportStats(const PTAStats &S, obs::MetricsRegistry &Reg,
+                               const std::string &Prefix) {
+  Reg.gauge(Prefix + "seconds").set(S.Seconds);
+  Reg.counter(Prefix + "timed_out").set(S.TimedOut ? 1 : 0);
+  Reg.counter(Prefix + "num_contexts").set(S.NumContexts);
+  Reg.counter(Prefix + "num_cs_vars").set(S.NumCSVars);
+  Reg.counter(Prefix + "num_cs_objs").set(S.NumCSObjs);
+  Reg.counter(Prefix + "num_cs_methods").set(S.NumCSMethods);
+  Reg.counter(Prefix + "num_reachable_methods").set(S.NumReachableMethods);
+  Reg.counter(Prefix + "var_pts_entries").set(S.VarPtsEntries);
+  Reg.counter(Prefix + "worklist_pops").set(S.WorklistPops);
+  Reg.counter(Prefix + "sccs_collapsed").set(S.SCCsCollapsed);
+  Reg.counter(Prefix + "nodes_collapsed").set(S.NodesCollapsed);
+  Reg.counter(Prefix + "filter_bitmap_hits").set(S.FilterBitmapHits);
+  Reg.counter(Prefix + "set_bytes").set(S.SetBytes);
+  Reg.counter(Prefix + "working_set_bytes").set(S.WorkingSetBytes);
+  Reg.counter(Prefix + "parallel_waves").set(S.ParallelWaves);
+  Reg.counter(Prefix + "deltas_buffered").set(S.DeltasBuffered);
+  Reg.counter(Prefix + "deltas_merged").set(S.DeltasMerged);
+  Reg.gauge(Prefix + "shard_imbalance_pct").set(S.ShardImbalancePct);
 }

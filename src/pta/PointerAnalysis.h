@@ -25,6 +25,7 @@
 #include "pta/Context.h"
 #include "pta/ContextSelector.h"
 #include "pta/HeapAbstraction.h"
+#include "support/Histogram.h"
 #include "support/PointsToSet.h"
 
 #include <functional>
@@ -54,7 +55,15 @@ struct PTAStats {
   uint64_t SCCsCollapsed = 0;  ///< copy-edge SCCs merged online
   uint64_t NodesCollapsed = 0; ///< nodes absorbed into a representative
   uint64_t FilterBitmapHits = 0; ///< cast filters served by a type bitmap
-  uint64_t SetBytes = 0; ///< bytes held by all points-to sets at the end
+  /// Live chunk bytes of the final flattened solution. A pure function
+  /// of the computed sets, so it is identical across engines that agree
+  /// bit for bit (see tests/pta/StatsConservationTest.cpp).
+  uint64_t SetBytes = 0;
+  /// Engine-owned working set at the end of the run: capacity bytes of
+  /// every solution + pending set, measured before the wave engines
+  /// flatten representatives back onto their classes. Not comparable
+  /// across engines.
+  uint64_t WorkingSetBytes = 0;
   // Wave-parallel engine counters (zero under the serial engines).
   uint64_t ParallelWaves = 0;  ///< waves executed by the sharded sweep
   uint64_t DeltasBuffered = 0; ///< delivery records emitted into buffers
@@ -86,6 +95,10 @@ public:
   std::vector<std::vector<ContextId>> MethodCtxs; ///< per MethodId
   std::vector<bool> ReachableMethod;              ///< CI reachability
   PTAStats Stats;
+  /// Wall-time of each propagation wave in microseconds (empty under the
+  /// naive engine, which has no wave structure). Surfaced as the
+  /// "pta.wave_us" latency histogram in the CLI metrics export.
+  LogHistogram WaveMicros;
   std::string AnalysisName;
   std::string HeapName;
 
@@ -177,6 +190,21 @@ struct AnalysisOptions {
 std::unique_ptr<PTAResult> runPointerAnalysis(const ir::Program &P,
                                               const ir::ClassHierarchy &CH,
                                               const AnalysisOptions &Opts);
+
+} // namespace mahjong::pta
+
+namespace mahjong::obs {
+class MetricsRegistry;
+} // namespace mahjong::obs
+
+namespace mahjong::pta {
+
+/// Publishes every PTAStats field into \p Reg under
+/// "<Prefix><snake_case_field>" — integral fields as counters, Seconds
+/// and ShardImbalancePct as gauges. The registry is the machine-readable
+/// face of the hand-printed CLI stats block; keep the two in sync.
+void exportStats(const PTAStats &S, obs::MetricsRegistry &Reg,
+                 const std::string &Prefix = "pta.");
 
 } // namespace mahjong::pta
 

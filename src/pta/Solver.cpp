@@ -6,6 +6,7 @@
 
 #include "pta/Solver.h"
 
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -252,6 +253,7 @@ void Solver::collapseScc(const std::vector<uint32_t> &Members) {
 }
 
 void Solver::recondition() {
+  obs::ScopedSpan Span("recondition");
   const uint32_t N = static_cast<uint32_t>(Out.size());
 
   // Iterative Tarjan over the representative graph restricted to
@@ -365,7 +367,8 @@ void Solver::finishRun(const Timer &Clock, uint64_t Pops) {
   // Record the engine's true working set before flattening duplicates the
   // representative sets back onto class members.
   for (uint32_t I = 0; I < R.Nodes.size(); ++I)
-    R.Stats.SetBytes += R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
+    R.Stats.WorkingSetBytes +=
+        R.Pts[I].memoryBytes() + Pending[I].memoryBytes();
   flattenResult();
 
   R.Stats.Seconds = Clock.seconds();
@@ -389,6 +392,9 @@ bool Solver::run() {
     ++WavesSinceRecondition;
     Wave.swap(NextWave);
     sortWave(Wave);
+    obs::ScopedSpan WaveSpan("wave");
+    WaveSpan.arg("nodes", Wave.size());
+    Timer WaveClock;
     for (uint32_t N : Wave) {
       if (!Queued[N] || !Reps.isRep(N))
         continue; // stale: merged away, or re-listed by a conditioning pass
@@ -402,6 +408,7 @@ bool Solver::run() {
       Pending[N].clear();
       propagate(N, Delta);
     }
+    R.WaveMicros.record(static_cast<uint64_t>(WaveClock.seconds() * 1e6));
     Wave.clear();
   }
 

@@ -244,9 +244,14 @@ void SolverCore::finalizeStats() {
   R.Stats.NumCSMethods = R.CSM.numCSMethods();
   for (bool Reach : R.ReachableMethod)
     R.Stats.NumReachableMethods += Reach;
-  // SetBytes is engine-owned: each engine records its own working set
-  // (the wave engine measures before flattening representatives).
-  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
+  // SetBytes is computed here, over the flattened solution, from live
+  // chunk counts only — a pure function of the computed sets, so engines
+  // that agree bit for bit report the same number. The engine-owned
+  // capacity measurement (taken before the wave engines flatten
+  // representatives) lives in WorkingSetBytes instead.
+  for (uint32_t I = 0; I < R.Nodes.size(); ++I) {
+    R.Stats.SetBytes += R.Pts[I].liveBytes();
     if (PTAResult::kindOf(R.Nodes.get(PtrNodeId(I))) == PTAResult::KindVar)
       R.Stats.VarPtsEntries += R.Pts[I].size();
+  }
 }

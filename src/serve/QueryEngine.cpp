@@ -7,11 +7,13 @@
 #include "serve/QueryEngine.h"
 
 #include "ir/Entities.h"
+#include "obs/Metrics.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <bit>
 #include <cctype>
+#include <chrono>
 #include <sstream>
 
 using namespace mahjong;
@@ -43,6 +45,7 @@ bool mahjong::serve::parseQuery(std::string_view Text, Query &Q,
       {"cast-may-fail", QueryKind::CastMayFail, 1},
       {"callers", QueryKind::Callers, 1},
       {"callees", QueryKind::Callees, 1},
+      {"stats", QueryKind::Stats, 0},
   };
   for (const Form &F : Forms) {
     if (Tokens[0] != F.Verb)
@@ -54,14 +57,34 @@ bool mahjong::serve::parseQuery(std::string_view Text, Query &Q,
       return false;
     }
     Q.Kind = F.Kind;
-    Q.A = Tokens[1];
+    Q.A = F.Args >= 1 ? Tokens[1] : std::string();
     Q.B = F.Args == 2 ? Tokens[2] : std::string();
     return true;
   }
   Err = "unknown query verb '" + Tokens[0] +
-        "' (expected points-to, alias, devirt, cast-may-fail, callers or "
-        "callees)";
+        "' (expected points-to, alias, devirt, cast-may-fail, callers, "
+        "callees or stats)";
   return false;
+}
+
+const char *mahjong::serve::queryKindName(QueryKind K) {
+  switch (K) {
+  case QueryKind::PointsTo:
+    return "points-to";
+  case QueryKind::Alias:
+    return "alias";
+  case QueryKind::Devirt:
+    return "devirt";
+  case QueryKind::CastMayFail:
+    return "cast-may-fail";
+  case QueryKind::Callers:
+    return "callers";
+  case QueryKind::Callees:
+    return "callees";
+  case QueryKind::Stats:
+    return "stats";
+  }
+  return "unknown";
 }
 
 std::string QueryResult::toString() const {
@@ -146,6 +169,7 @@ void QueryCache::insert(std::string_view Key, QueryResult R) {
   // allocating new ones — misses fall back to uncached evaluation.
   if (Retired.size() >= RetiredCap)
     return;
+  RetiredCount.fetch_add(1, std::memory_order_relaxed);
   auto E = std::make_unique<Entry>();
   E->Hash = H;
   E->Key = std::string(Key);
@@ -168,6 +192,7 @@ QueryCache::Stats QueryCache::stats() const {
   S.Misses = Misses.load(std::memory_order_relaxed);
   S.Insertions = Insertions.load(std::memory_order_relaxed);
   S.Evictions = Evictions.load(std::memory_order_relaxed);
+  S.Retired = RetiredCount.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -208,6 +233,11 @@ QueryResult QueryEngine::run(std::string_view QueryText) const {
     R.Error = Err;
     return R;
   }
+  // Introspection reads live counters: caching it would freeze them, and
+  // its latency would pollute the data-query histograms.
+  if (Q.Kind == QueryKind::Stats)
+    return statsResult();
+  auto T0 = std::chrono::steady_clock::now();
   // Canonical cache key: whitespace variants of the same query share one
   // entry; \x1f cannot occur inside entity keys.
   std::string Key;
@@ -216,14 +246,23 @@ QueryResult QueryEngine::run(std::string_view QueryText) const {
   Key += Q.A;
   Key.push_back('\x1f');
   Key += Q.B;
-  if (const QueryResult *Hit = Cache.lookup(Key))
-    return *Hit;
-  QueryResult R = evaluate(Q);
-  // Only successful answers are worth a slot: unknown-entity errors have
-  // an unbounded key space an adversarial stream could fill the cache
-  // (and its retire store) with.
-  if (R.Ok)
-    Cache.insert(Key, R);
+  const QueryResult *Hit = Cache.lookup(Key);
+  QueryResult R;
+  if (Hit) {
+    R = *Hit;
+  } else {
+    R = evaluate(Q);
+    // Only successful answers are worth a slot: unknown-entity errors
+    // have an unbounded key space an adversarial stream could fill the
+    // cache (and its retire store) with.
+    if (R.Ok)
+      Cache.insert(Key, R);
+  }
+  KindLatencyNs[static_cast<unsigned>(Q.Kind)].record(
+      static_cast<uint64_t>(std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - T0)
+                                .count()));
   return R;
 }
 
@@ -241,9 +280,39 @@ QueryResult QueryEngine::evaluate(const Query &Q) const {
     return callersOf(Q.A);
   case QueryKind::Callees:
     return calleesOf(Q.A);
+  case QueryKind::Stats:
+    return statsResult();
   }
   QueryResult R;
   R.Error = "unreachable query kind";
+  return R;
+}
+
+QueryResult QueryEngine::statsResult() const {
+  // Build a throwaway registry so the answer reuses the one exposition
+  // format (Prometheus text lines, one per Items entry) everything else
+  // in the pipeline speaks.
+  obs::MetricsRegistry Reg;
+  QueryCache::Stats CS = Cache.stats();
+  Reg.counter("serve.cache_hits").set(CS.Hits);
+  Reg.counter("serve.cache_misses").set(CS.Misses);
+  Reg.counter("serve.cache_insertions").set(CS.Insertions);
+  Reg.counter("serve.cache_evictions").set(CS.Evictions);
+  Reg.counter("serve.cache_retired").set(CS.Retired);
+  for (unsigned K = 0; K < NumDataQueryKinds; ++K) {
+    const LogHistogram &H = KindLatencyNs[K];
+    if (H.count() == 0)
+      continue;
+    Reg.histogram(std::string("serve.latency_ns.") +
+                  queryKindName(static_cast<QueryKind>(K)))
+        .mergeFrom(H);
+  }
+  QueryResult R;
+  R.Ok = true;
+  std::istringstream Lines(Reg.toPrometheus());
+  for (std::string Line; std::getline(Lines, Line);)
+    if (!Line.empty())
+      R.Items.push_back(Line);
   return R;
 }
 

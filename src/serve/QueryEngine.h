@@ -18,6 +18,8 @@
 ///           | "cast-may-fail" NUM      — may cast site NUM fail?
 ///           | "callers" method         — methods with a call edge into m
 ///           | "callees" method         — methods m may call
+///           | "stats"                  — live engine metrics (Prometheus
+///                                        text lines; never cached)
 ///   var    := method "::" NAME        e.g. Main.main/0::x
 ///   method := signature               e.g. A.m/1
 ///
@@ -39,6 +41,8 @@
 
 #include "serve/Snapshot.h"
 
+#include "support/Histogram.h"
+
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -56,7 +60,15 @@ enum class QueryKind : uint8_t {
   CastMayFail,
   Callers,
   Callees,
+  Stats, ///< introspection verb; not a data query, never cached
 };
+
+/// The data-query kinds (everything before Stats) — the dimension of the
+/// per-kind latency histograms in QueryEngine and the traffic driver.
+inline constexpr unsigned NumDataQueryKinds = 6;
+
+/// The query verb naming \p K ("points-to", "alias", ...).
+const char *queryKindName(QueryKind K);
 
 /// One parsed query. A and B are entity keys per the grammar above.
 struct Query {
@@ -104,6 +116,7 @@ public:
     uint64_t Misses = 0;
     uint64_t Insertions = 0;
     uint64_t Evictions = 0;
+    uint64_t Retired = 0; ///< entries in the retire store (live included)
   };
   Stats stats() const;
 
@@ -120,6 +133,8 @@ private:
   /// uncached, so cache memory cannot grow without bound.
   std::vector<std::unique_ptr<Entry>> Retired;
   size_t RetiredCap;
+  /// Retired.size() mirrored for lock-free stats() reads.
+  std::atomic<uint64_t> RetiredCount{0};
 
   mutable std::atomic<uint64_t> Clock{0};
   mutable std::atomic<uint64_t> Hits{0}, Misses{0};
@@ -145,8 +160,15 @@ public:
 
   QueryCache::Stats cacheStats() const { return Cache.stats(); }
 
+  /// End-to-end run() latency (cache hits included) of one data-query
+  /// kind, in nanoseconds. `stats` runs are not recorded.
+  const LogHistogram &latencyHistogram(QueryKind K) const {
+    return KindLatencyNs[static_cast<unsigned>(K)];
+  }
+
 private:
   QueryResult pointsTo(const std::string &VarKey) const;
+  QueryResult statsResult() const;
   QueryResult alias(const std::string &KeyA, const std::string &KeyB) const;
   QueryResult devirt(const std::string &SiteIdx) const;
   QueryResult castMayFail(const std::string &CastIdx) const;
@@ -165,6 +187,7 @@ private:
   std::unordered_map<uint32_t, std::vector<uint32_t>> CalleesByMethod;
   std::unordered_map<uint32_t, std::vector<uint32_t>> CallersByMethod;
   mutable QueryCache Cache;
+  mutable LogHistogram KindLatencyNs[NumDataQueryKinds];
 };
 
 } // namespace mahjong::serve

@@ -6,6 +6,7 @@
 
 #include "serve/Snapshot.h"
 
+#include "obs/Trace.h"
 #include "support/Hashing.h"
 #include "support/Interner.h"
 #include "support/Varint.h"
@@ -615,7 +616,9 @@ mahjong::serve::decodeSnapshot(std::string_view Bytes, std::string &Err) {
 bool mahjong::serve::saveSnapshot(const pta::PTAResult &R,
                                   const std::string &Path,
                                   std::string &Err) {
+  obs::ScopedSpan Span("snapshot-encode");
   std::string Bytes = encodeSnapshot(buildSnapshot(R));
+  Span.arg("bytes", Bytes.size());
   std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   if (!Out || !Out.write(Bytes.data(), Bytes.size())) {
     Err = "cannot write '" + Path + "'";
@@ -633,5 +636,6 @@ mahjong::serve::loadSnapshot(const std::string &Path, std::string &Err) {
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  obs::ScopedSpan Span("snapshot-decode");
   return decodeSnapshot(Buf.str(), Err);
 }

@@ -9,10 +9,14 @@
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
+#include <ostream>
 #include <sstream>
 #include <thread>
 
@@ -110,6 +114,10 @@ bool mahjong::serve::parseWorkloadSpec(std::string_view Text,
       if (!parseUnsigned(Value, U) || U == 0)
         return Fail("need a positive integer");
       W.MaxBatch = static_cast<unsigned>(U);
+    } else if (Key == "heartbeat_seconds") {
+      if (!parseDouble(Value, F))
+        return Fail("need a non-negative number");
+      W.HeartbeatSeconds = F;
     } else if (Key.rfind("weight_", 0) == 0) {
       if (!parseUnsigned(Value, U))
         return Fail("need an integer");
@@ -185,8 +193,13 @@ size_t QueryGenerator::pickRank(size_t N) {
   return std::min<size_t>(It - ZipfCdf.begin(), N - 1);
 }
 
-std::string QueryGenerator::next() {
+std::string QueryGenerator::next(QueryKind *KindOut) {
   unsigned Pick = static_cast<unsigned>(nextRand() % TotalWeight);
+  auto Emit = [KindOut](QueryKind K, std::string Text) {
+    if (KindOut)
+      *KindOut = K;
+    return Text;
+  };
   // On a snapshot with no variables at all (an empty program) there is
   // no valid key of any kind; emit a fixed parse-valid query that the
   // engine answers as unknown-variable rather than indexing Vars[0].
@@ -198,30 +211,33 @@ std::string QueryGenerator::next() {
   // Fall through the mix in declaration order; kinds whose key pool is
   // empty degrade to points-to so the stream never stalls.
   if (Pick < W.WeightPointsTo)
-    return "points-to " + VarKey();
+    return Emit(QueryKind::PointsTo, "points-to " + VarKey());
   Pick -= W.WeightPointsTo;
   if (Pick < W.WeightAlias)
-    return "alias " + VarKey() + " " + VarKey();
+    return Emit(QueryKind::Alias, "alias " + VarKey() + " " + VarKey());
   Pick -= W.WeightAlias;
   if (Pick < W.WeightDevirt) {
     if (D.Sites.empty())
-      return "points-to " + VarKey();
-    return "devirt " + std::to_string(pickRank(D.Sites.size()));
+      return Emit(QueryKind::PointsTo, "points-to " + VarKey());
+    return Emit(QueryKind::Devirt,
+                "devirt " + std::to_string(pickRank(D.Sites.size())));
   }
   Pick -= W.WeightDevirt;
   if (Pick < W.WeightCastMayFail) {
     if (D.Casts.empty())
-      return "points-to " + VarKey();
-    return "cast-may-fail " + std::to_string(pickRank(D.Casts.size()));
+      return Emit(QueryKind::PointsTo, "points-to " + VarKey());
+    return Emit(QueryKind::CastMayFail,
+                "cast-may-fail " +
+                    std::to_string(pickRank(D.Casts.size())));
   }
   Pick -= W.WeightCastMayFail;
   if (D.Methods.empty())
-    return "points-to " + VarKey();
+    return Emit(QueryKind::PointsTo, "points-to " + VarKey());
   const std::string &Sig =
       D.Methods[pickRank(D.Methods.size())].Signature;
   if (Pick < W.WeightCallers)
-    return "callers " + Sig;
-  return "callees " + Sig;
+    return Emit(QueryKind::Callers, "callers " + Sig);
+  return Emit(QueryKind::Callees, "callees " + Sig);
 }
 
 //===----------------------------------------------------------------------===//
@@ -236,21 +252,39 @@ std::string TrafficReport::toJson() const {
      << ", \"p99_us\": " << P99Micros << ", \"cache_hits\": " << Cache.Hits
      << ", \"cache_misses\": " << Cache.Misses
      << ", \"cache_evictions\": " << Cache.Evictions
+     << ", \"cache_retired\": " << Cache.Retired
      << ", \"batches\": " << Server.Batches
-     << ", \"max_batch\": " << Server.MaxBatchObserved << "}";
+     << ", \"max_batch\": " << Server.MaxBatchObserved << ", \"kinds\": {";
+  bool First = true;
+  for (unsigned K = 0; K < NumDataQueryKinds; ++K) {
+    const KindLatency &KL = Kinds[K];
+    if (KL.Count == 0)
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "\"" << queryKindName(static_cast<QueryKind>(K))
+       << "\": {\"count\": " << KL.Count << ", \"p50_us\": " << KL.P50Micros
+       << ", \"p95_us\": " << KL.P95Micros
+       << ", \"p99_us\": " << KL.P99Micros << "}";
+  }
+  OS << "}}";
   return OS.str();
 }
 
 TrafficReport mahjong::serve::runTraffic(const QueryEngine &Engine,
-                                         const QueryWorkload &W) {
+                                         const QueryWorkload &W,
+                                         std::ostream *Progress) {
   using Clock = std::chrono::steady_clock;
   QueryServer Server(Engine, W.Workers, W.MaxBatch);
 
-  struct ClientLog {
-    std::vector<uint64_t> LatenciesNs;
-    uint64_t Failed = 0;
-  };
-  std::vector<ClientLog> Logs(W.Clients);
+  // Latency is recorded straight into shared histograms — thread-safe
+  // (relaxed atomic counts) and O(1) memory regardless of query volume,
+  // and the same reservoir the heartbeat thread reads live.
+  LogHistogram OverallNs;
+  LogHistogram PerKindNs[NumDataQueryKinds];
+  std::atomic<uint64_t> Completed{0}, Failed{0};
+
   std::vector<std::thread> Clients;
   Clients.reserve(W.Clients);
 
@@ -264,9 +298,6 @@ TrafficReport mahjong::serve::runTraffic(const QueryEngine &Engine,
   for (unsigned C = 0; C < W.Clients; ++C) {
     Clients.emplace_back([&, C] {
       QueryGenerator Gen(Engine.data(), W, C);
-      ClientLog &Log = Logs[C];
-      if (W.DurationSeconds <= 0)
-        Log.LatenciesNs.reserve(W.QueriesPerClient);
       for (uint64_t I = 0;; ++I) {
         if (W.DurationSeconds > 0) {
           if (Clock::now() >= Deadline)
@@ -274,41 +305,74 @@ TrafficReport mahjong::serve::runTraffic(const QueryEngine &Engine,
         } else if (I >= W.QueriesPerClient) {
           break;
         }
+        QueryKind Kind = QueryKind::PointsTo;
+        std::string Text = Gen.next(&Kind);
         Clock::time_point T0 = Clock::now();
-        QueryResult R = Server.submit(Gen.next()).get();
+        QueryResult R = Server.submit(std::move(Text)).get();
         Clock::time_point T1 = Clock::now();
-        Log.LatenciesNs.push_back(
+        uint64_t Ns = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
                 .count());
-        Log.Failed += !R.Ok;
+        OverallNs.record(Ns);
+        PerKindNs[static_cast<unsigned>(Kind)].record(Ns);
+        Completed.fetch_add(1, std::memory_order_relaxed);
+        Failed.fetch_add(!R.Ok, std::memory_order_relaxed);
       }
     });
   }
+
+  // The heartbeat thread reads the shared counters the clients are still
+  // writing — by design: progress lines must reflect the live run.
+  std::mutex HeartbeatMu;
+  std::condition_variable HeartbeatCv;
+  bool Done = false;
+  std::thread Heartbeat;
+  if (Progress && W.HeartbeatSeconds > 0) {
+    Heartbeat = std::thread([&] {
+      auto Period = std::chrono::duration<double>(W.HeartbeatSeconds);
+      std::unique_lock<std::mutex> Lock(HeartbeatMu);
+      while (!HeartbeatCv.wait_for(Lock, Period, [&] { return Done; })) {
+        double T =
+            std::chrono::duration<double>(Clock::now() - Start).count();
+        uint64_t N = Completed.load(std::memory_order_relaxed);
+        std::ostringstream Line;
+        Line << "[serve-bench] t=" << T << "s queries=" << N
+             << " qps=" << (T > 0 ? N / T : 0) << "\n";
+        *Progress << Line.str() << std::flush;
+      }
+    });
+  }
+
   for (std::thread &T : Clients)
     T.join();
+  if (Heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(HeartbeatMu);
+      Done = true;
+    }
+    HeartbeatCv.notify_all();
+    Heartbeat.join();
+  }
   double Seconds =
       std::chrono::duration<double>(Clock::now() - Start).count();
 
-  std::vector<uint64_t> All;
   TrafficReport Rep;
-  for (const ClientLog &Log : Logs) {
-    All.insert(All.end(), Log.LatenciesNs.begin(), Log.LatenciesNs.end());
-    Rep.Failed += Log.Failed;
-  }
-  std::sort(All.begin(), All.end());
-  Rep.Queries = All.size();
+  Rep.Queries = Completed.load(std::memory_order_relaxed);
+  Rep.Failed = Failed.load(std::memory_order_relaxed);
   Rep.Seconds = Seconds;
   Rep.QPS = Seconds > 0 ? Rep.Queries / Seconds : 0;
-  auto Pct = [&All](double Q) -> double {
-    if (All.empty())
-      return 0;
-    size_t Idx = std::min(All.size() - 1,
-                          static_cast<size_t>(Q * All.size()));
-    return All[Idx] / 1000.0;
-  };
-  Rep.P50Micros = Pct(0.50);
-  Rep.P95Micros = Pct(0.95);
-  Rep.P99Micros = Pct(0.99);
+  Rep.P50Micros = OverallNs.percentile(0.50) / 1000.0;
+  Rep.P95Micros = OverallNs.percentile(0.95) / 1000.0;
+  Rep.P99Micros = OverallNs.percentile(0.99) / 1000.0;
+  for (unsigned K = 0; K < NumDataQueryKinds; ++K) {
+    TrafficReport::KindLatency &KL = Rep.Kinds[K];
+    KL.Count = PerKindNs[K].count();
+    if (KL.Count == 0)
+      continue;
+    KL.P50Micros = PerKindNs[K].percentile(0.50) / 1000.0;
+    KL.P95Micros = PerKindNs[K].percentile(0.95) / 1000.0;
+    KL.P99Micros = PerKindNs[K].percentile(0.99) / 1000.0;
+  }
   Rep.Cache = Engine.cacheStats();
   Rep.Server = Server.stats();
   return Rep;

@@ -33,6 +33,7 @@
 #include "serve/QueryEngine.h"
 #include "serve/Server.h"
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -49,6 +50,9 @@ struct QueryWorkload {
   double ZipfS = 0;
   unsigned Workers = 0;  ///< broker workers; 0 = hardware concurrency
   unsigned MaxBatch = 16;
+  /// When > 0 the driver emits a progress heartbeat line at this period
+  /// (spec key: heartbeat_seconds). 0 disables it.
+  double HeartbeatSeconds = 0;
   /// Relative frequencies of the query kinds.
   unsigned WeightPointsTo = 4;
   unsigned WeightAlias = 2;
@@ -62,7 +66,9 @@ struct QueryWorkload {
 bool parseWorkloadSpec(std::string_view Text, QueryWorkload &W,
                        std::string &Err);
 
-/// What one traffic replay measured.
+/// What one traffic replay measured. Percentiles come from the shared
+/// log-bucketed LogHistogram (bucket midpoints), not a sorted sample
+/// vector, so memory stays O(1) in the query count.
 struct TrafficReport {
   uint64_t Queries = 0;
   uint64_t Failed = 0; ///< answers with Ok == false
@@ -71,6 +77,14 @@ struct TrafficReport {
   double P50Micros = 0;
   double P95Micros = 0;
   double P99Micros = 0;
+  /// Latency broken down by query kind (indexed by QueryKind).
+  struct KindLatency {
+    uint64_t Count = 0;
+    double P50Micros = 0;
+    double P95Micros = 0;
+    double P99Micros = 0;
+  };
+  KindLatency Kinds[NumDataQueryKinds];
   QueryCache::Stats Cache;
   ServerStats Server;
 
@@ -87,8 +101,9 @@ public:
                  unsigned Client);
 
   /// Produces the next query text. Never fails: kinds without any valid
-  /// key in the snapshot fall back to points-to.
-  std::string next();
+  /// key in the snapshot fall back to points-to. When \p KindOut is
+  /// non-null it receives the kind actually emitted (after fallback).
+  std::string next(QueryKind *KindOut = nullptr);
 
 private:
   uint64_t nextRand();
@@ -104,7 +119,11 @@ private:
 
 /// Replays \p W against \p Engine through a QueryServer. Spawns
 /// W.Clients threads, each a closed loop (generate, submit, wait).
-TrafficReport runTraffic(const QueryEngine &Engine, const QueryWorkload &W);
+/// When \p Progress is non-null and W.HeartbeatSeconds > 0, a heartbeat
+/// thread prints "[serve-bench] t=... queries=... qps=..." lines to it
+/// at that period while the clients run.
+TrafficReport runTraffic(const QueryEngine &Engine, const QueryWorkload &W,
+                         std::ostream *Progress = nullptr);
 
 } // namespace mahjong::serve
 

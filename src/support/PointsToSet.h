@@ -219,8 +219,15 @@ public:
   size_t size() const { return Count; }
 
   /// Heap bytes owned by this set (capacity, not just live chunks) —
-  /// the unit of the solver's peak-set-bytes statistic.
+  /// the unit of the solver's engine-owned working-set statistic
+  /// (PTAStats::WorkingSetBytes).
   size_t memoryBytes() const { return Chunks.capacity() * sizeof(Chunk); }
+
+  /// Bytes of live chunk storage. A pure function of the set's contents
+  /// — unlike memoryBytes() it ignores allocator slack, so it compares
+  /// equal across solver engines that compute the same solution
+  /// (PTAStats::SetBytes).
+  size_t liveBytes() const { return Chunks.size() * sizeof(Chunk); }
   void clear() {
     Chunks.clear();
     Count = 0;

@@ -1,0 +1,142 @@
+//===-- tests/obs/TraceTest.cpp ----------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace mahjong;
+using namespace mahjong::obs;
+
+namespace {
+
+/// Restores a clean global-sink state around every test in this file.
+class TraceTest : public ::testing::Test {
+protected:
+  void TearDown() override { installTraceSink(nullptr); }
+};
+
+TEST_F(TraceTest, NoSinkMeansNoOp) {
+  ASSERT_EQ(currentTraceSink(), nullptr);
+  EXPECT_FALSE(tracingEnabled());
+  {
+    ScopedSpan Span("unobserved");
+    Span.arg("n", 7); // must be tolerated with no sink
+    MAHJONG_SPAN("also-unobserved");
+  }
+  // Still nothing installed; nothing to flush and nothing leaked.
+  EXPECT_EQ(currentTraceSink(), nullptr);
+}
+
+TEST_F(TraceTest, RecordsNestedSpans) {
+  TraceSink Sink;
+  installTraceSink(&Sink);
+  {
+    ScopedSpan Outer("outer");
+    {
+      ScopedSpan Inner("inner");
+      Inner.arg("items", 3);
+    }
+  }
+  installTraceSink(nullptr);
+  EXPECT_EQ(Sink.eventCount(), 2u);
+  EXPECT_EQ(Sink.laneCount(), 1u);
+
+  std::ostringstream OS;
+  Sink.write(OS);
+  std::string Json = OS.str();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"items\":3"), std::string::npos);
+  // Exactly one lane means exactly one thread_name metadata event.
+  EXPECT_NE(Json.find("thread_name"), std::string::npos);
+}
+
+TEST_F(TraceTest, InnerSpanNestsInsideOuter) {
+  TraceSink Sink;
+  installTraceSink(&Sink);
+  {
+    ScopedSpan Outer("outer");
+    ScopedSpan Inner("inner");
+  }
+  installTraceSink(nullptr);
+  // Spans close inner-first, so the lane holds [inner, outer] and the
+  // parent's interval must contain the child's.
+  const TraceSink::Lane &L = Sink.laneForCurrentThread();
+  ASSERT_EQ(L.Events.size(), 2u);
+  const TraceSink::Event &Inner = L.Events[0];
+  const TraceSink::Event &Outer = L.Events[1];
+  EXPECT_STREQ(Inner.Name, "inner");
+  EXPECT_STREQ(Outer.Name, "outer");
+  EXPECT_LE(Outer.StartNs, Inner.StartNs);
+  EXPECT_GE(Outer.StartNs + Outer.DurNs, Inner.StartNs + Inner.DurNs);
+}
+
+TEST_F(TraceTest, EachThreadGetsItsOwnLane) {
+  TraceSink Sink;
+  installTraceSink(&Sink);
+  constexpr unsigned Threads = 4;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([] {
+      for (int I = 0; I < 10; ++I)
+        MAHJONG_SPAN("worker-span");
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  installTraceSink(nullptr);
+  EXPECT_EQ(Sink.laneCount(), Threads);
+  EXPECT_EQ(Sink.eventCount(), Threads * 10u);
+}
+
+TEST_F(TraceTest, LaneCacheSurvivesSinkSwap) {
+  // The thread-local lane cache is keyed by sink generation: destroying
+  // a sink and installing a fresh one (possibly at the same address)
+  // must route this thread's spans to the new sink's lanes.
+  auto First = std::make_unique<TraceSink>();
+  installTraceSink(First.get());
+  { ScopedSpan Span("one"); }
+  installTraceSink(nullptr);
+  EXPECT_EQ(First->eventCount(), 1u);
+  uint64_t FirstGen = First->generation();
+  First.reset();
+
+  TraceSink Second;
+  EXPECT_NE(Second.generation(), FirstGen);
+  installTraceSink(&Second);
+  { ScopedSpan Span("two"); }
+  installTraceSink(nullptr);
+  EXPECT_EQ(Second.eventCount(), 1u);
+  EXPECT_EQ(Second.laneCount(), 1u);
+}
+
+TEST_F(TraceTest, WriteFileRoundTrips) {
+  TraceSink Sink;
+  installTraceSink(&Sink);
+  { MAHJONG_SPAN("to-disk"); }
+  installTraceSink(nullptr);
+  std::string Path = ::testing::TempDir() + "trace_test_out.json";
+  std::string Err;
+  ASSERT_TRUE(Sink.writeFile(Path, Err)) << Err;
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_NE(Buf.str().find("to-disk"), std::string::npos);
+
+  std::string BadErr;
+  EXPECT_FALSE(Sink.writeFile("/nonexistent-dir/x/y.json", BadErr));
+  EXPECT_FALSE(BadErr.empty());
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+//===-- tests/pta/StatsConservationTest.cpp ----------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Conservation laws of the PTAStats the observability layer exports.
+// Since this PR, SetBytes is computed uniformly by SolverCore over the
+// flattened solution (PointsToSet::liveBytes), so it — like
+// VarPtsEntries — is a pure function of the solution and must be
+// bit-identical across the naive, wave, and parallel engines on every
+// workload profile. The parallel engine's delta accounting must balance
+// (DeltasBuffered == DeltasMerged) at every thread count; the engine-
+// owned WorkingSetBytes may differ between engines but never be zero on
+// a non-trivial run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/PointerAnalysis.h"
+
+#include "workload/BenchmarkPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+using namespace mahjong::pta;
+
+namespace {
+
+std::unique_ptr<PTAResult> runWith(const ir::Program &P,
+                                   const ir::ClassHierarchy &CH,
+                                   SolverEngine Engine, unsigned Threads) {
+  AnalysisOptions Opts; // context-insensitive: every profile is scalable
+  Opts.Engine = Engine;
+  Opts.SolverThreads = Threads;
+  return runPointerAnalysis(P, CH, Opts);
+}
+
+TEST(StatsConservation, SolutionStatsAgreeAcrossEnginesOnAllProfiles) {
+  const double Scale = 0.05; // smoke scale: shapes, not sizes
+  for (const std::string &Name : workload::benchmarkNames()) {
+    SCOPED_TRACE(Name);
+    auto P = workload::buildBenchmarkProgram(Name, Scale);
+    ir::ClassHierarchy CH(*P);
+
+    auto Naive = runWith(*P, CH, SolverEngine::Naive, 0);
+    auto Wave = runWith(*P, CH, SolverEngine::Wave, 0);
+    ASSERT_GT(Wave->Stats.VarPtsEntries, 0u);
+    EXPECT_EQ(Naive->Stats.VarPtsEntries, Wave->Stats.VarPtsEntries);
+    EXPECT_EQ(Naive->Stats.SetBytes, Wave->Stats.SetBytes);
+    EXPECT_GT(Naive->Stats.WorkingSetBytes, 0u);
+    EXPECT_GT(Wave->Stats.WorkingSetBytes, 0u);
+
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(Threads);
+      auto Par = runWith(*P, CH, SolverEngine::ParallelWave, Threads);
+      EXPECT_EQ(Par->Stats.DeltasBuffered, Par->Stats.DeltasMerged);
+      EXPECT_EQ(Par->Stats.VarPtsEntries, Wave->Stats.VarPtsEntries);
+      EXPECT_EQ(Par->Stats.SetBytes, Wave->Stats.SetBytes);
+      EXPECT_GT(Par->Stats.WorkingSetBytes, 0u);
+    }
+  }
+}
+
+TEST(StatsConservation, WaveLatencyHistogramMatchesWaveCount) {
+  // The per-wave latency histogram rides on PTAResult: its sample count
+  // is the number of waves the engine ran, and the naive engine (no wave
+  // structure) leaves it empty.
+  auto P = workload::buildBenchmarkProgram("antlr", 0.05);
+  ir::ClassHierarchy CH(*P);
+
+  auto Wave = runWith(*P, CH, SolverEngine::Wave, 0);
+  EXPECT_GT(Wave->WaveMicros.count(), 0u);
+
+  auto Par = runWith(*P, CH, SolverEngine::ParallelWave, 2);
+  EXPECT_EQ(Par->WaveMicros.count(), Par->Stats.ParallelWaves);
+
+  auto Naive = runWith(*P, CH, SolverEngine::Naive, 0);
+  EXPECT_EQ(Naive->WaveMicros.count(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===-- tests/support/HistogramTest.cpp --------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace mahjong;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bucket math invariants
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, SmallValuesAreExactBuckets) {
+  // Values below 2 * 2^SubBucketBits get a bucket each: zero error.
+  for (uint64_t V = 0; V < 32; ++V) {
+    EXPECT_EQ(LogHistogram::bucketOf(V), V);
+    EXPECT_EQ(LogHistogram::bucketLow(V), V);
+    EXPECT_EQ(LogHistogram::bucketHigh(V), V); // inclusive upper bound
+  }
+}
+
+TEST(Histogram, BucketsPartitionTheRange) {
+  // Consecutive buckets tile [low, high] with no gaps or overlaps
+  // (bucketHigh is inclusive — it doubles as the Prometheus `le` bound).
+  for (unsigned I = 0; I + 1 < LogHistogram::NumBuckets; ++I)
+    EXPECT_EQ(LogHistogram::bucketHigh(I) + 1, LogHistogram::bucketLow(I + 1))
+        << "gap after bucket " << I;
+}
+
+TEST(Histogram, EveryValueFallsInItsBucket) {
+  // Probe across the whole 64-bit range: exact low/high boundaries of
+  // every bucket must map back to it, and nothing past them may.
+  for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I) {
+    uint64_t Low = LogHistogram::bucketLow(I);
+    EXPECT_EQ(LogHistogram::bucketOf(Low), I);
+    uint64_t High = LogHistogram::bucketHigh(I);
+    EXPECT_EQ(LogHistogram::bucketOf(High), I);
+    if (I + 1 < LogHistogram::NumBuckets) {
+      EXPECT_EQ(LogHistogram::bucketOf(High + 1), I + 1);
+    }
+  }
+  EXPECT_EQ(LogHistogram::bucketOf(~0ull), LogHistogram::NumBuckets - 1);
+}
+
+TEST(Histogram, RelativeErrorIsBounded) {
+  // The log-linear layout guarantees bucket width <= value / 16, i.e.
+  // at most ~6.25% relative quantization error for any recorded value.
+  for (uint64_t E = 5; E < 63; ++E) {
+    uint64_t V = (1ull << E) + (1ull << (E - 1)); // mid-range of octave E
+    size_t B = LogHistogram::bucketOf(V);
+    uint64_t Width =
+        LogHistogram::bucketHigh(B) - LogHistogram::bucketLow(B);
+    EXPECT_LE(Width * 16, LogHistogram::bucketLow(B) + Width)
+        << "bucket " << B << " too wide for value " << V;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Recording and aggregates
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, CountSumMaxMean) {
+  LogHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(0.5), 0u);
+  H.record(1);
+  H.record(2);
+  H.record(9);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 12u);
+  EXPECT_EQ(H.max(), 9u);
+  EXPECT_DOUBLE_EQ(H.mean(), 4.0);
+}
+
+TEST(Histogram, MergeFromAccumulates) {
+  LogHistogram A, B;
+  for (uint64_t V = 0; V < 100; ++V)
+    A.record(V);
+  for (uint64_t V = 1000; V < 1100; ++V)
+    B.record(V);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.count(), 200u);
+  EXPECT_EQ(A.max(), 1099u);
+  EXPECT_EQ(A.sum(), 4950u + (1000u + 1099u) * 100u / 2u);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  LogHistogram H;
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&H, T] {
+      uint64_t S = splitmix64(T + 1);
+      for (uint64_t I = 0; I < PerThread; ++I) {
+        S = splitmix64(S);
+        H.record(S % 1000000);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(H.count(), Threads * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Percentiles vs the exact sorted-sample answer (satellite: the shared
+// histogram replaced sort-based percentiles in the traffic driver; these
+// pin the two within one bucket width on adversarial shapes).
+//===----------------------------------------------------------------------===//
+
+// The exact value the old sort-based path would have returned.
+uint64_t exactPercentile(std::vector<uint64_t> Sorted, double Q) {
+  size_t Idx = std::min(Sorted.size() - 1,
+                        static_cast<size_t>(Q * Sorted.size()));
+  return Sorted[Idx];
+}
+
+void expectWithinOneBucket(const std::vector<uint64_t> &Samples) {
+  LogHistogram H;
+  for (uint64_t V : Samples)
+    H.record(V);
+  std::vector<uint64_t> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (double Q : {0.50, 0.95, 0.99}) {
+    uint64_t Exact = exactPercentile(Sorted, Q);
+    size_t B = LogHistogram::bucketOf(Exact);
+    uint64_t Got = H.percentile(Q);
+    EXPECT_GE(Got, LogHistogram::bucketLow(B))
+        << "p" << Q * 100 << ": exact " << Exact;
+    EXPECT_LE(Got, LogHistogram::bucketHigh(B))
+        << "p" << Q * 100 << ": exact " << Exact;
+  }
+}
+
+TEST(Histogram, PercentilesMatchSortOnZipfSkew) {
+  // Zipf-ish long tail: many tiny latencies, few huge ones.
+  std::vector<uint64_t> Samples;
+  uint64_t S = 42;
+  for (unsigned I = 0; I < 50000; ++I) {
+    S = splitmix64(S);
+    double U = (S >> 11) * (1.0 / 9007199254740992.0);
+    // Inverse-power transform: rank^(1/s) tail with s ~ 1.2.
+    Samples.push_back(
+        static_cast<uint64_t>(200.0 / std::pow(1.0 - U, 1.0 / 1.2)));
+  }
+  expectWithinOneBucket(Samples);
+}
+
+TEST(Histogram, PercentilesMatchSortOnConstant) {
+  std::vector<uint64_t> Samples(10000, 777);
+  expectWithinOneBucket(Samples);
+  LogHistogram H;
+  for (uint64_t V : Samples)
+    H.record(V);
+  // All mass in one bucket: every percentile is that bucket's midpoint.
+  EXPECT_EQ(H.percentile(0.5), H.percentile(0.99));
+}
+
+TEST(Histogram, PercentilesMatchSortOnBimodal) {
+  // Cache-hit/miss shape: 90% fast mode, 10% slow mode, 3 decades apart.
+  std::vector<uint64_t> Samples;
+  uint64_t S = 7;
+  for (unsigned I = 0; I < 50000; ++I) {
+    S = splitmix64(S);
+    uint64_t Base = (S % 10 == 0) ? 800000 : 900;
+    Samples.push_back(Base + splitmix64(S) % (Base / 4));
+  }
+  expectWithinOneBucket(Samples);
+}
+
+} // namespace

@@ -1,0 +1,371 @@
+//===-- tools/trace-validate.cpp - Chrome trace checker ----------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+// Validates a Chrome trace_event JSON file as produced by the obs layer
+// (`analyze --trace-out`): the top-level object must carry a
+// "traceEvents" array; every event needs name/ph/pid/tid/ts (and dur for
+// complete "X" events); and within each (pid, tid) lane the X spans must
+// nest properly — no partial overlaps. Exit 0 on success with a one-line
+// summary, nonzero with a diagnostic otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal recursive-descent JSON parser — just enough for trace files.
+// Deliberately dependency-free: the validator must not share code with
+// the writer it checks.
+//===----------------------------------------------------------------------===//
+
+struct Value {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::map<std::string, Value> Fields;
+
+  const Value *field(const std::string &Name) const {
+    auto It = Fields.find(Name);
+    return It == Fields.end() ? nullptr : &It->second;
+  }
+};
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Err)
+      : Text(Text), Err(Err) {}
+
+  bool parse(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing bytes after the top-level value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Why) {
+    size_t Line = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+      Line += Text[I] == '\n';
+    Err = "line " + std::to_string(Line) + ": " + Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t N = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, N, Word) != 0)
+      return fail(std::string("expected '") + Word + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = Value::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = Value::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = Value::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = Value::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    Out.K = Value::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected a string key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after key");
+      ++Pos;
+      skipWs();
+      if (!parseValue(Out.Fields[Key]))
+        return false;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    Out.K = Value::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Out.Elems.emplace_back();
+      if (!parseValue(Out.Elems.back()))
+        return false;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("dangling escape");
+        char E = Text[Pos + 1];
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out.push_back(E);
+          break;
+        case 'b':
+          Out.push_back('\b');
+          break;
+        case 'f':
+          Out.push_back('\f');
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 'r':
+          Out.push_back('\r');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case 'u': {
+          if (Pos + 5 >= Text.size())
+            return fail("truncated \\u escape");
+          // Validated but appended raw — the validator never compares
+          // non-ASCII name bytes.
+          for (size_t I = 2; I < 6; ++I)
+            if (!std::isxdigit(
+                    static_cast<unsigned char>(Text[Pos + I])))
+              return fail("malformed \\u escape");
+          Out.append(Text, Pos, 6);
+          Pos += 4;
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        Pos += 2;
+        continue;
+      }
+      Out.push_back(C);
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    try {
+      Out.Num = std::stod(Text.substr(Start, Pos - Start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    Out.K = Value::Number;
+    return true;
+  }
+
+  const std::string &Text;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Trace validation
+//===----------------------------------------------------------------------===//
+
+struct Span {
+  double Ts;
+  double Dur;
+  std::string Name;
+};
+
+int fail(const std::string &Why) {
+  std::fprintf(stderr, "trace-validate: %s\n", Why.c_str());
+  return 1;
+}
+
+bool numberField(const Value &Ev, const char *Name, double &Out,
+                 std::string &Why) {
+  const Value *F = Ev.field(Name);
+  if (!F || F->K != Value::Number) {
+    Why = std::string("event missing numeric '") + Name + "'";
+    return false;
+  }
+  Out = F->Num;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: trace-validate <trace.json>\n");
+    return 2;
+  }
+  std::ifstream In(Argv[1], std::ios::binary);
+  if (!In)
+    return fail(std::string("cannot open '") + Argv[1] + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  std::string Err;
+  Value Root;
+  if (!Parser(Text, Err).parse(Root))
+    return fail("JSON error: " + Err);
+  if (Root.K != Value::Object)
+    return fail("top level is not an object");
+  const Value *Events = Root.field("traceEvents");
+  if (!Events || Events->K != Value::Array)
+    return fail("missing 'traceEvents' array");
+
+  // Collect the X spans per (pid, tid) lane; validate required fields.
+  std::map<std::pair<double, double>, std::vector<Span>> Lanes;
+  size_t NumEvents = 0;
+  for (const Value &Ev : Events->Elems) {
+    if (Ev.K != Value::Object)
+      return fail("traceEvents entry is not an object");
+    const Value *Name = Ev.field("name");
+    const Value *Ph = Ev.field("ph");
+    if (!Name || Name->K != Value::String || Name->Str.empty())
+      return fail("event missing a non-empty string 'name'");
+    if (!Ph || Ph->K != Value::String)
+      return fail("event missing string 'ph'");
+    double Pid, Tid, Ts = 0;
+    std::string Why;
+    if (!numberField(Ev, "pid", Pid, Why) ||
+        !numberField(Ev, "tid", Tid, Why))
+      return fail(Why);
+    ++NumEvents;
+    if (Ph->Str == "M")
+      continue; // metadata events carry no timestamps
+    if (!numberField(Ev, "ts", Ts, Why))
+      return fail(Why);
+    if (Ts < 0)
+      return fail("event '" + Name->Str + "' has negative ts");
+    if (Ph->Str != "X")
+      return fail("unsupported event phase '" + Ph->Str + "'");
+    double Dur;
+    if (!numberField(Ev, "dur", Dur, Why))
+      return fail(Why);
+    if (Dur < 0)
+      return fail("event '" + Name->Str + "' has negative dur");
+    Lanes[{Pid, Tid}].push_back({Ts, Dur, Name->Str});
+  }
+
+  // Laminarity: within a lane, sort by start (ties: longer span first —
+  // the would-be parent) and sweep with a stack of open intervals. Each
+  // span must fit entirely inside the innermost open one.
+  for (auto &[LaneId, Spans] : Lanes) {
+    std::stable_sort(Spans.begin(), Spans.end(),
+                     [](const Span &A, const Span &B) {
+                       if (A.Ts != B.Ts)
+                         return A.Ts < B.Ts;
+                       return A.Dur > B.Dur;
+                     });
+    std::vector<const Span *> Open;
+    for (const Span &S : Spans) {
+      while (!Open.empty() &&
+             S.Ts >= Open.back()->Ts + Open.back()->Dur)
+        Open.pop_back();
+      if (!Open.empty()) {
+        const Span &P = *Open.back();
+        // A strict fit test would reject same-microsecond boundaries
+        // produced by timestamp rounding; allow exact-edge containment.
+        if (S.Ts + S.Dur > P.Ts + P.Dur + 1e-9)
+          return fail("lane (" + std::to_string(LaneId.first) + ", " +
+                      std::to_string(LaneId.second) + "): span '" +
+                      S.Name + "' overlaps '" + P.Name +
+                      "' without nesting");
+      }
+      Open.push_back(&S);
+    }
+  }
+
+  std::printf("ok: %zu events, %zu lanes\n", NumEvents, Lanes.size());
+  return 0;
+}
