@@ -30,8 +30,16 @@
 //   --only NAME    restrict both sections to one benchmark profile
 //   --solver-only  skip the Table-2 breakdown; run just the engine
 //                  comparison (for solver-perf iteration)
+//   --auto-check   instead of a two-engine race, run all three engines
+//                  per profile and verify SolverEngine::Auto's pre-solve
+//                  pick is never slower than the best manual choice by
+//                  more than 10% (plus a small absolute epsilon so
+//                  millisecond smoke runs don't flake); writes
+//                  BENCH_auto_solver.json
 //
-// Exit code is nonzero if any profile's engines disagree.
+// Exit code is nonzero if any profile's engines disagree, if identical
+// engines report diverging SetBytes (that stat is engine-invariant by
+// contract), or if --auto-check finds a bad pick.
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +47,7 @@
 
 #include "pta/ResultDigest.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -85,7 +94,7 @@ struct SolverRow {
   // Candidate-engine internals (zero where the engine lacks the feature).
   uint64_t SCCsCollapsed = 0, NodesCollapsed = 0, FilterBitmapHits = 0;
   uint64_t ParallelWaves = 0;
-  double ShardImbalancePct = 0;
+  double ShardImbalancePct = 0, ShardImbalanceMaxPct = 0;
   bool Identical = false;
   double speedup() const {
     return CandSeconds > 0 ? BaseSeconds / CandSeconds : 0;
@@ -134,9 +143,10 @@ void writeJson(const std::string &Path, const char *Mode,
     if (Cand.Engine == pta::SolverEngine::ParallelWave) {
       std::snprintf(Buf, sizeof(Buf),
                     ", \"parallel_waves\": %llu, "
-                    "\"shard_imbalance_pct\": %.1f",
+                    "\"shard_imbalance_pct\": %.1f, "
+                    "\"shard_imbalance_max_pct\": %.1f",
                     (unsigned long long)R.ParallelWaves,
-                    R.ShardImbalancePct);
+                    R.ShardImbalancePct, R.ShardImbalanceMaxPct);
       Out << Buf;
     }
     Out << ", \"identical\": " << (R.Identical ? "true" : "false") << "}"
@@ -151,6 +161,100 @@ void writeJson(const std::string &Path, const char *Mode,
     Out << Buf;
   }
   Out << "\n}\n";
+}
+
+/// --auto-check: races all three concrete engines per profile and grades
+/// chooseSolverEngine's pre-solve pick against the measured best. The
+/// tolerance is relative (10%) plus a small absolute epsilon — at smoke
+/// scale every engine solves in milliseconds and pure timer noise would
+/// otherwise flunk a correct pick. Exits nonzero on any bad pick or any
+/// digest disagreement between the engines themselves.
+int runAutoCheck(const std::vector<std::string> &Names, double Scale,
+                 bool Smoke, unsigned Threads, std::string JsonPath) {
+  constexpr double RelTolerance = 1.10;
+  constexpr double AbsEpsilonSeconds = 0.05;
+  if (JsonPath.empty())
+    JsonPath = "BENCH_auto_solver.json";
+  std::printf("== Adaptive engine selection (--solver auto) vs best manual "
+              "choice%s ==\n\n",
+              Smoke ? " [smoke scale]" : "");
+  std::printf("%-12s %9s %9s %9s | %-8s %9s %9s %5s\n", "program",
+              "naive(s)", "wave(s)", "par(s)", "chosen", "chosen(s)",
+              "best(s)", "ok");
+  struct AutoRow {
+    std::string Name;
+    double Seconds[3] = {0, 0, 0}; // naive, wave, parallel
+    const char *Chosen = "";
+    double ChosenSeconds = 0, BestSeconds = 0;
+    bool Ok = false, Identical = false;
+  };
+  std::vector<AutoRow> Rows;
+  bool AllOk = true;
+  for (const std::string &Name : Names) {
+    auto P = workload::buildBenchmarkProgram(Name, Scale);
+    ir::ClassHierarchy CH(*P);
+    AutoRow Row;
+    Row.Name = Name;
+    const pta::SolverEngine Order[3] = {pta::SolverEngine::Naive,
+                                        pta::SolverEngine::Wave,
+                                        pta::SolverEngine::ParallelWave};
+    uint64_t Digest = 0;
+    Row.Identical = true;
+    for (int E = 0; E < 3; ++E) {
+      auto R = runEngine(*P, CH, Order[E], Threads);
+      Row.Seconds[E] = R->Stats.Seconds;
+      uint64_t D = pta::canonicalResultDigest(*R);
+      if (E == 0)
+        Digest = D;
+      else if (D != Digest)
+        Row.Identical = false;
+    }
+    pta::SolverEngine Chosen = pta::chooseSolverEngine(*P, Threads);
+    Row.Chosen = pta::solverEngineName(Chosen);
+    Row.ChosenSeconds =
+        Row.Seconds[Chosen == pta::SolverEngine::Naive          ? 0
+                    : Chosen == pta::SolverEngine::ParallelWave ? 2
+                                                                : 1];
+    Row.BestSeconds =
+        std::min(Row.Seconds[0], std::min(Row.Seconds[1], Row.Seconds[2]));
+    Row.Ok = Row.Identical &&
+             Row.ChosenSeconds <=
+                 Row.BestSeconds * RelTolerance + AbsEpsilonSeconds;
+    AllOk &= Row.Ok;
+    std::printf("%-12s %9.3f %9.3f %9.3f | %-8s %9.3f %9.3f %5s\n",
+                Name.c_str(), Row.Seconds[0], Row.Seconds[1], Row.Seconds[2],
+                Row.Chosen, Row.ChosenSeconds, Row.BestSeconds,
+                Row.Ok ? "yes" : "NO");
+    Rows.push_back(Row);
+  }
+  std::ofstream Out(JsonPath);
+  Out << "{\n  \"mode\": \"" << (Smoke ? "smoke" : "full")
+      << "\",\n  \"check\": \"auto-selection\",\n  \"threads\": " << Threads
+      << ",\n  \"rel_tolerance\": " << RelTolerance
+      << ",\n  \"abs_epsilon_seconds\": " << AbsEpsilonSeconds
+      << ",\n  \"profiles\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const AutoRow &R = Rows[I];
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"name\": \"%s\", \"naive_seconds\": %.4f, "
+                  "\"wave_seconds\": %.4f, \"parallel_seconds\": %.4f, "
+                  "\"chosen\": \"%s\", \"chosen_seconds\": %.4f, "
+                  "\"best_seconds\": %.4f, \"identical\": %s, \"ok\": %s}%s\n",
+                  R.Name.c_str(), R.Seconds[0], R.Seconds[1], R.Seconds[2],
+                  R.Chosen, R.ChosenSeconds, R.BestSeconds,
+                  R.Identical ? "true" : "false", R.Ok ? "true" : "false",
+                  I + 1 < Rows.size() ? "," : "");
+    Out << Buf;
+  }
+  Out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", JsonPath.c_str());
+  if (!AllOk) {
+    std::fprintf(stderr, "FAIL: auto selection picked a bad engine (or "
+                         "engines disagree) on at least one profile\n");
+    return 1;
+  }
+  return 0;
 }
 
 void printPreAnalysisBreakdown(const std::vector<std::string> &Names,
@@ -199,6 +303,7 @@ void printPreAnalysisBreakdown(const std::vector<std::string> &Names,
 int main(int Argc, char **Argv) {
   bool Smoke = false;
   bool SolverOnly = false;
+  bool AutoCheck = false;
   std::string JsonPath;
   std::string Only;
   std::string EngineName = "wave";
@@ -218,11 +323,13 @@ int main(int Argc, char **Argv) {
       Threads = (unsigned)std::strtoul(Argv[++I], nullptr, 10);
     else if (!std::strcmp(Argv[I], "--solver-only"))
       SolverOnly = true;
+    else if (!std::strcmp(Argv[I], "--auto-check"))
+      AutoCheck = true;
     else {
       std::fprintf(stderr,
                    "usage: bench_preanalysis [--smoke] [--engine NAME] "
                    "[--threads N] [--json PATH] [--only PROFILE] "
-                   "[--solver-only]\n");
+                   "[--solver-only] [--auto-check]\n");
       return 2;
     }
   }
@@ -250,6 +357,11 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (AutoCheck)
+    return runAutoCheck(Names, Scale, Smoke, Threads,
+                        JsonPath == Cand->JsonPath ? std::string()
+                                                   : JsonPath);
+
   if (!SolverOnly)
     printPreAnalysisBreakdown(Names, Scale, Smoke);
 
@@ -261,6 +373,7 @@ int main(int Argc, char **Argv) {
               "sccs", "merged", "same");
   std::vector<SolverRow> Rows;
   bool AllIdentical = true;
+  bool SetBytesConsistent = true;
   for (const std::string &Name : Names) {
     auto P = workload::buildBenchmarkProgram(Name, Scale);
     ir::ClassHierarchy CH(*P);
@@ -279,8 +392,19 @@ int main(int Argc, char **Argv) {
     Row.FilterBitmapHits = CandR->Stats.FilterBitmapHits;
     Row.ParallelWaves = CandR->Stats.ParallelWaves;
     Row.ShardImbalancePct = CandR->Stats.ShardImbalancePct;
+    Row.ShardImbalanceMaxPct = CandR->Stats.ShardImbalanceMaxPct;
     Row.Identical = pta::equivalentResults(*BaseR, *CandR);
     AllIdentical &= Row.Identical;
+    if (Row.Identical && Row.BaseSetBytes != Row.CandSetBytes) {
+      // SetBytes is a pure function of the solution (PR 5's contract):
+      // identical digests with diverging set bytes mean the stat broke.
+      std::fprintf(stderr,
+                   "FAIL: %s: engines agree on the solution but report "
+                   "different set_bytes (%llu vs %llu)\n",
+                   Name.c_str(), (unsigned long long)Row.BaseSetBytes,
+                   (unsigned long long)Row.CandSetBytes);
+      SetBytesConsistent = false;
+    }
     std::printf("%-12s %9.2f %9.2f %7.2fx | %10llu %10llu | %6llu %7llu "
                 "%6s\n",
                 Name.c_str(), Row.BaseSeconds, Row.CandSeconds,
@@ -313,5 +437,7 @@ int main(int Argc, char **Argv) {
                  Base->Name, Cand->Name);
     return 1;
   }
+  if (!SetBytesConsistent)
+    return 1;
   return 0;
 }

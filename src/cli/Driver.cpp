@@ -41,7 +41,8 @@ int usage(std::ostream &Err) {
          "commands:\n"
          "  analyze <file.mj> [--analysis ci|2cs|2obj|3obj|2type|3type]\n"
          "                    [--heap site|type|mahjong] [--budget SECONDS]\n"
-         "                    [--solver wave|naive|parallel] [--threads N]\n"
+         "                    [--solver auto|wave|naive|parallel] "
+         "[--threads N]\n"
          "                    [--facts DIR] [--save-snapshot FILE.mjsnap]\n"
          "                    [--trace-out FILE.json] [--metrics-out FILE]\n"
          "                    [--stats-json FILE]\n"
@@ -215,7 +216,7 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
                std::ostream &Err) {
   if (Argc < 3)
     return usage(Err);
-  std::string Analysis = "2obj", HeapKind = "mahjong", SolverKind = "wave",
+  std::string Analysis = "2obj", HeapKind = "mahjong", SolverKind = "auto",
               FactsDir, SnapPath, BudgetStr, ThreadsStr, TraceOut,
               MetricsOut, StatsJson;
   FlagParser Flags(Argc, Argv, 3, Err);
@@ -248,8 +249,8 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
         << "'\n";
     return ExitUsage;
   }
-  if (SolverKind != "wave" && SolverKind != "naive" &&
-      SolverKind != "parallel") {
+  if (SolverKind != "auto" && SolverKind != "wave" &&
+      SolverKind != "naive" && SolverKind != "parallel") {
     Err << "error: flag '--solver' got unknown engine '" << SolverKind
         << "'\n";
     return ExitUsage;
@@ -298,6 +299,7 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
   Opts.TimeBudgetSeconds = Budget;
   Opts.Engine = SolverKind == "naive"      ? pta::SolverEngine::Naive
                 : SolverKind == "parallel" ? pta::SolverEngine::ParallelWave
+                : SolverKind == "auto"     ? pta::SolverEngine::Auto
                                            : pta::SolverEngine::Wave;
   Opts.SolverThreads = SolverThreads;
   if (HeapKind == "mahjong") {
@@ -340,15 +342,23 @@ int cmdAnalyze(int Argc, const char *const *Argv, std::ostream &Out,
       << " (mono: " << CR.MonoCallSites << ")\n";
   Out << "  may-fail casts:     " << CR.MayFailCasts << " / " << CR.TotalCasts
       << "\n";
-  Out << "  solver (" << SolverKind << "):     " << R->Stats.WorklistPops
+  // Under --solver auto the heuristic's choice is part of the story:
+  // "auto:wave" says both what was asked and what ran.
+  std::string EngineShown =
+      SolverKind == "auto" ? "auto:" + R->EngineName : SolverKind;
+  Out << "  solver (" << EngineShown << "):     " << R->Stats.WorklistPops
       << " pops, " << R->Stats.SCCsCollapsed << " SCCs collapsed ("
       << R->Stats.NodesCollapsed << " nodes), " << R->Stats.FilterBitmapHits
       << " filter bitmap hits\n";
-  if (SolverKind == "parallel")
+  if (R->EngineName == "parallel")
     Out << "  parallel waves:     " << R->Stats.ParallelWaves << " ("
         << R->Stats.DeltasBuffered << " deltas buffered, "
-        << R->Stats.DeltasMerged << " merged, shard imbalance "
-        << std::setprecision(1) << R->Stats.ShardImbalancePct << "%)\n";
+        << R->Stats.DeltasMerged << " merged, " << R->Stats.DeltasDropped
+        << " dropped)\n"
+        << "  parallel balance:   shard imbalance " << std::setprecision(1)
+        << R->Stats.ShardImbalancePct << "% mean / "
+        << R->Stats.ShardImbalanceMaxPct << "% max, " << R->Stats.WorkSteals
+        << " chunks stolen\n";
   if (!FactsDir.empty()) {
     if (!pta::writeAllFacts(*R, FactsDir)) {
       Err << "error: cannot write facts into '" << FactsDir << "'\n";

@@ -27,12 +27,10 @@ ParallelSolver::ParallelSolver(const Program &P, const ClassHierarchy &CH,
       NumShards(this->Threads) {
   if (this->Threads > 1)
     Pool = std::make_unique<ThreadPool>(this->Threads);
-  Buffers.resize(NumShards);
   Segments.resize(NumShards);
-  ChunkPops.resize(NumShards);
-  ShardWork.assign(NumShards, 0);
   ShardMerged.resize(NumShards);
   ShardFilterHits.resize(NumShards);
+  WorkerWork.resize(this->Threads);
 }
 
 void ParallelSolver::addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) {
@@ -45,24 +43,62 @@ void ParallelSolver::addEdge(PtrNodeId Src, PtrNodeId Dst, TypeId Filter) {
   Solver::addEdge(Src, Dst, Filter);
 }
 
-template <typename Fn>
-void ParallelSolver::forEachChunk(size_t N, const Fn &Body) {
-  if (Pool) {
-    parallelChunks(*Pool, N, NumShards, Body);
-    return;
+void ParallelSolver::planWave(const std::vector<uint32_t> &Wave) {
+  // Weigh every node of the sorted wave: out-degree (records to emit)
+  // plus pending size (set work). Both are O(1) reads of state only this
+  // serial context mutates.
+  Weights.resize(Wave.size());
+  for (size_t I = 0; I < Wave.size(); ++I) {
+    uint32_t N = Wave[I];
+    Weights[I] = sweepWeight(Out[N].size(), Pending[N].size());
   }
-  for (size_t C = 0; C < NumShards; ++C) {
-    size_t Begin = chunkBegin(N, NumShards, C);
-    size_t End = chunkBegin(N, NumShards, C + 1);
-    if (Begin != End)
-      Body(C, Begin, End);
+  uint32_t M = static_cast<uint32_t>(std::min<size_t>(
+      Wave.size(), static_cast<size_t>(NumShards) * kChunksPerWorker));
+  M = std::max(M, 1u);
+  weightedChunkBounds(Weights, M, Bounds, Prefix);
+  WaveChunks = M;
+
+  // Storage only ever grows: a wave needing fewer sub-chunks than a past
+  // one reuses the front of the same buffers (allocation-flat steady
+  // state; pinned by tests/support/DeltaBufferTest.cpp).
+  if (Buffers.size() < M)
+    Buffers.resize(M);
+  if (ChunkPops.size() < M) {
+    ChunkPops.resize(M);
+    ChunkWork.resize(M);
   }
+  if (FlagCap < M) {
+    Claimed = std::make_unique<std::atomic<uint8_t>[]>(M);
+    Sealed = std::make_unique<std::atomic<uint8_t>[]>(M);
+    FlagCap = M;
+  }
+  for (uint32_t C = 0; C < M; ++C) {
+    Buffers[C].reset(NumShards);
+    ChunkPops[C] = 0;
+    ChunkWork[C] = 0;
+    // Relaxed is enough: the pool's enqueue/wait pair orders these
+    // serial stores before any worker load.
+    Claimed[C].store(0, std::memory_order_relaxed);
+    Sealed[C].store(0, std::memory_order_relaxed);
+  }
+  for (uint32_t T = 0; T < NumShards; ++T) {
+    ShardMerged[T] = 0;
+    ShardFilterHits[T] = 0;
+  }
+  NextMergeShard.store(0, std::memory_order_relaxed);
 }
 
-uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
-                                    size_t Begin, size_t End, DeltaBuffer &Buf,
-                                    const Timer &Clock) {
+void ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave, uint32_t C,
+                                const Timer &Clock) {
+  if (Stop.load(std::memory_order_relaxed))
+    return; // timed out while this chunk waited: nothing swept
+  const size_t Begin = Bounds[C], End = Bounds[C + 1];
+  DeltaBuffer &Buf = Buffers[C];
   uint64_t Pops = 0;
+  // Measured sweep work, in the planner's own units (one per pop, one per
+  // pending element diffed, one per record emitted) — recordWaveBalance
+  // compares what each planned range actually cost.
+  uint64_t Work = 0;
   // Runs on a pool worker: the span lands in that worker's trace lane.
   obs::ScopedSpan Span("sweep-chunk");
   Span.arg("nodes", End - Begin);
@@ -74,7 +110,7 @@ uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
     if (!Queued[N] || !Reps.isRep(N))
       continue; // stale: merged away, or re-listed by a conditioning pass
     Queued[N] = 0;
-    if ((++Pops & 0xFFF) == 0) {
+    if ((++Pops & 0x3F) == 0) {
       if (Stop.load(std::memory_order_relaxed))
         break;
       if (TimeBudget > 0 && Clock.seconds() > TimeBudget) {
@@ -84,6 +120,7 @@ uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
     }
     PointsToSet Delta = std::move(Pending[N]);
     Pending[N].clear();
+    Work += Delta.size();
     PointsToSet Diff = R.Pts[N].differenceFrom(Delta);
     if (Diff.empty())
       continue;
@@ -101,25 +138,38 @@ uint64_t ParallelSolver::sweepChunk(const std::vector<uint32_t> &Wave,
         continue; // target collapsed into this class since the edge was added
       Buf.emit(shardOf(T), T, Slot,
                E.Filter.isValid() ? E.Filter.idx() + 1 : 0);
+      ++Work;
     }
   }
-  return Pops;
+  ChunkPops[C] = Pops;
+  ChunkWork[C] = Work + Pops;
 }
 
 void ParallelSolver::mergeShard(uint32_t Shard) {
   obs::ScopedSpan Span("merge-shard");
   std::vector<uint32_t> &Seg = Segments[Shard];
   uint64_t Merged = 0, FilterHits = 0;
-  // Fixed buffer order 0..S-1, emission order within a bucket: the fold
+  // Fixed buffer order 0..M-1, emission order within a bucket: the fold
   // sequence for any target is a pure function of the wave, never of
-  // thread scheduling.
-  for (const DeltaBuffer &Buf : Buffers) {
+  // thread scheduling. Folds go into the PendingNext/QueuedNext side
+  // arrays — a target can be a later, not-yet-swept node of the current
+  // wave, whose Pending/Queued rows still belong to its sweeper.
+  for (uint32_t B = 0; B < WaveChunks; ++B) {
+    // Await the buffer's seal; a claimed-but-unsealed buffer is being
+    // swept right now, so the wait is short. On timeout the remaining
+    // buckets are dropped (counted into DeltasDropped by run()).
+    while (Pool && !Sealed[B].load(std::memory_order_acquire) &&
+           !Stop.load(std::memory_order_relaxed))
+      std::this_thread::yield();
+    if (Stop.load(std::memory_order_relaxed))
+      break;
+    const DeltaBuffer &Buf = Buffers[B];
     for (const DeltaBuffer::Record &Rec : Buf.records(Shard)) {
       assert(shardOf(Rec.Target) == Shard && "record in wrong bucket");
       const PointsToSet &D = Buf.delta(Rec.DeltaSlot);
       ++Merged;
       if (Rec.FilterPlus1 == 0) {
-        Pending[Rec.Target].unionWith(D);
+        PendingNext[Rec.Target].unionWith(D);
       } else {
         const PointsToSet *Bitmap =
             filterBitmapIfBuilt(TypeId(Rec.FilterPlus1 - 1));
@@ -129,10 +179,10 @@ void ParallelSolver::mergeShard(uint32_t Shard) {
         ++FilterHits;
         if (Filtered.empty())
           continue; // nothing passed the cast; the record still counts
-        Pending[Rec.Target].unionWith(Filtered);
+        PendingNext[Rec.Target].unionWith(Filtered);
       }
-      if (!Queued[Rec.Target]) {
-        Queued[Rec.Target] = 1;
+      if (!QueuedNext[Rec.Target]) {
+        QueuedNext[Rec.Target] = 1;
         Seg.push_back(Rec.Target);
       }
     }
@@ -141,12 +191,73 @@ void ParallelSolver::mergeShard(uint32_t Shard) {
   ShardFilterHits[Shard] = FilterHits;
 }
 
+void ParallelSolver::waveWorker(const std::vector<uint32_t> &Wave,
+                                unsigned Me, const Timer &Clock) {
+  auto RunChunk = [&](uint32_t C) {
+    sweepChunk(Wave, C, Clock);
+    Sealed[C].store(1, std::memory_order_release);
+  };
+  const uint32_t M = WaveChunks;
+  // Own range first, front to back.
+  uint32_t Begin = static_cast<uint32_t>(chunkBegin(M, Threads, Me));
+  uint32_t End = static_cast<uint32_t>(chunkBegin(M, Threads, Me + 1));
+  for (uint32_t C = Begin; C < End; ++C)
+    if (!Claimed[C].exchange(1, std::memory_order_acq_rel))
+      RunChunk(C);
+  // Then steal: victims in deterministic order Me+1, Me+2, ... (wrapping),
+  // each victim's range scanned back to front — away from the victim's
+  // own claim cursor. Which thread sweeps a chunk is invisible to the
+  // merge (results are keyed by chunk index), so stealing cannot perturb
+  // the digest.
+  for (unsigned V = 1; V < Threads; ++V) {
+    unsigned Victim = (Me + V) % Threads;
+    uint32_t VB = static_cast<uint32_t>(chunkBegin(M, Threads, Victim));
+    uint32_t VE = static_cast<uint32_t>(chunkBegin(M, Threads, Victim + 1));
+    for (uint32_t C = VE; C > VB; --C)
+      if (!Claimed[C - 1].exchange(1, std::memory_order_acq_rel)) {
+        Steals.fetch_add(1, std::memory_order_relaxed);
+        RunChunk(C - 1);
+      }
+  }
+  // Every sweep sub-chunk is claimed (each claimer sweeps and seals it),
+  // so move on to merging — no barrier between the phases.
+  for (;;) {
+    uint32_t T = NextMergeShard.fetch_add(1, std::memory_order_relaxed);
+    if (T >= NumShards)
+      break;
+    mergeShard(T);
+  }
+}
+
+void ParallelSolver::applyMerge() {
+  // Serial: move the staged pendings onto the real rows and collect the
+  // next wave, segment by segment in shard order — the same order a
+  // full-barrier merge would have produced. Every target was staged by
+  // exactly one shard, so each node is visited once.
+  for (uint32_t T = 0; T < NumShards; ++T) {
+    for (uint32_t N : Segments[T]) {
+      QueuedNext[N] = 0;
+      if (Pending[N].empty())
+        Pending[N] = std::move(PendingNext[N]);
+      else
+        Pending[N].unionWith(PendingNext[N]);
+      PendingNext[N].clear();
+      if (!Queued[N]) {
+        Queued[N] = 1;
+        NextWave.push_back(N);
+      }
+    }
+    Segments[T].clear();
+  }
+}
+
 void ParallelSolver::runGrowthHandlers() {
   // Buffers hold contiguous chunks of the sorted wave, so walking them in
-  // shard order replays deltas in exactly the order the serial sweep
+  // sub-chunk order replays deltas in exactly the order the serial sweep
   // would have reached the nodes. Everything below may intern nodes, add
   // edges and enqueue — all of it single-threaded.
-  for (const DeltaBuffer &Buf : Buffers) {
+  for (uint32_t B = 0; B < WaveChunks; ++B) {
+    const DeltaBuffer &Buf = Buffers[B];
     size_t NumDeltas = Buf.numDeltas();
     for (size_t I = 0; I < NumDeltas; ++I) {
       uint32_t N = Buf.deltaNode(I);
@@ -164,6 +275,26 @@ void ParallelSolver::runGrowthHandlers() {
       }
     }
   }
+}
+
+void ParallelSolver::recordWaveBalance() {
+  // Work each worker was *planned* to do: the measured sweep cost
+  // (pops + delta elements diffed + records emitted) of its initial
+  // sub-chunk range — the same units the planner's weight estimate
+  // predicts, so the stat reads as the planner's prediction error.
+  // Planned (pre-steal) assignment keeps the metric a pure function of
+  // the wave — the same on every run and every machine — while still
+  // reflecting measured work, not estimates. Stealing then hides part of
+  // whatever imbalance is reported here.
+  for (unsigned W = 0; W < Threads; ++W) {
+    uint64_t Work = 0;
+    size_t Begin = chunkBegin(WaveChunks, Threads, W);
+    size_t End = chunkBegin(WaveChunks, Threads, W + 1);
+    for (size_t C = Begin; C < End; ++C)
+      Work += ChunkWork[C];
+    WorkerWork[W] = Work;
+  }
+  Balance.addWave(WorkerWork);
 }
 
 bool ParallelSolver::run() {
@@ -185,47 +316,59 @@ bool ParallelSolver::run() {
     WaveSpan.arg("nodes", Wave.size());
     Timer WaveClock;
 
-    // Phase A: sharded sweep. Workers write only rows of nodes they pop
-    // and their private buffer; structural state is read-only.
-    for (uint32_t C = 0; C < NumShards; ++C) {
-      Buffers[C].reset(NumShards);
-      ChunkPops[C] = 0;
+    // Merge staging covers every node that exists at the wave start; the
+    // parallel region never creates nodes (that happens in phase C).
+    if (PendingNext.size() < Out.size()) {
+      PendingNext.resize(Out.size());
+      QueuedNext.resize(Out.size(), 0);
     }
+    planWave(Wave);
+
+    // Phases A+B, fused: workers sweep (own range, then steal), then
+    // claim merge shards as the sweep drains — no global barrier.
     {
-      obs::ScopedSpan Phase("sweep");
-      forEachChunk(Wave.size(), [&](size_t C, size_t Begin, size_t End) {
-        ChunkPops[C] = sweepChunk(Wave, Begin, End, Buffers[C], Clock);
-      });
-    }
-    for (uint32_t C = 0; C < NumShards; ++C) {
-      Pops += ChunkPops[C];
-      uint64_t Emitted = Buffers[C].numRecords();
-      ShardWork[C] += Emitted;
-      R.Stats.DeltasBuffered += Emitted;
-    }
-    if (Stop.load(std::memory_order_relaxed)) {
-      R.Stats.TimedOut = true;
-      break; // buffered deliveries are dropped; the result is partial
+      obs::ScopedSpan Phase("sweep+merge");
+      WaveSpan.arg("chunks", WaveChunks);
+      if (Pool)
+        parallelWorkers(*Pool, Threads,
+                        [&](unsigned W) { waveWorker(Wave, W, Clock); });
+      else {
+        for (uint32_t C = 0; C < WaveChunks; ++C)
+          sweepChunk(Wave, C, Clock);
+        for (uint32_t T = 0; T < NumShards; ++T)
+          mergeShard(T);
+      }
     }
 
-    // Phase B: sharded merge. Worker t owns exactly the Pending/Queued
-    // rows of targets in shard t.
-    {
-      obs::ScopedSpan Phase("merge");
-      forEachChunk(NumShards, [&](size_t, size_t Begin, size_t End) {
-        for (size_t T = Begin; T < End; ++T)
-          mergeShard(static_cast<uint32_t>(T));
-      });
+    uint64_t WaveBuffered = 0, WaveMerged = 0;
+    for (uint32_t C = 0; C < WaveChunks; ++C) {
+      Pops += ChunkPops[C];
+      WaveBuffered += Buffers[C].numRecords();
     }
     for (uint32_t T = 0; T < NumShards; ++T) {
-      R.Stats.DeltasMerged += ShardMerged[T];
+      WaveMerged += ShardMerged[T];
       R.Stats.FilterBitmapHits += ShardFilterHits[T];
-      NextWave.insert(NextWave.end(), Segments[T].begin(), Segments[T].end());
-      Segments[T].clear();
     }
-    assert(R.Stats.DeltasMerged == R.Stats.DeltasBuffered &&
+    R.Stats.DeltasBuffered += WaveBuffered;
+    R.Stats.DeltasMerged += WaveMerged;
+    recordWaveBalance();
+
+    if (Stop.load(std::memory_order_relaxed)) {
+      // Deliveries buffered but never folded are *dropped*, and counted:
+      // the conservation law the stats export documents is
+      // Buffered == Merged + Dropped, timeout or not.
+      R.Stats.TimedOut = true;
+      R.Stats.DeltasDropped += WaveBuffered - WaveMerged;
+      break;
+    }
+    assert(WaveMerged == WaveBuffered &&
            "merge phase lost or duplicated a buffered delivery");
 
+    // Phase B2: serial apply of the staged merge.
+    {
+      obs::ScopedSpan Phase("apply");
+      applyMerge();
+    }
     // Phase C: serialized growth handlers in wave order.
     {
       obs::ScopedSpan Phase("growth");
@@ -235,17 +378,9 @@ bool ParallelSolver::run() {
     Wave.clear();
   }
 
-  // Imbalance over the whole run: how much the busiest sweep chunk
-  // exceeded the mean, in percent of the mean.
-  uint64_t Total = 0, Max = 0;
-  for (uint64_t W : ShardWork) {
-    Total += W;
-    Max = std::max(Max, W);
-  }
-  if (Total > 0 && NumShards > 1) {
-    double Mean = static_cast<double>(Total) / NumShards;
-    R.Stats.ShardImbalancePct = (static_cast<double>(Max) - Mean) / Mean * 100.0;
-  }
+  R.Stats.WorkSteals = Steals.load(std::memory_order_relaxed);
+  R.Stats.ShardImbalancePct = Balance.meanPct();
+  R.Stats.ShardImbalanceMaxPct = Balance.MaxPct;
 
   finishRun(Clock, Pops);
   return !R.Stats.TimedOut;

@@ -7,47 +7,64 @@
 /// \file
 /// The wave-parallel engine (SolverEngine::ParallelWave): the wave
 /// engine's exact structure — topologically sorted waves, coalesced
-/// pending deltas, online cycle collapsing — with each wave's sweep
-/// executed by support::ThreadPool workers. A wave runs in three phases:
+/// pending deltas, online cycle collapsing — with each wave's sweep and
+/// merge executed by support::ThreadPool workers. A wave runs as one
+/// fused parallel region followed by two short serial passes:
 ///
-///  **A. Sharded sweep (parallel).** The sorted wave is cut into
-///  contiguous chunks, one per shard. Each worker pops only nodes of its
-///  own chunk: it moves the node's pending delta, computes the true
-///  growth (differenceFrom), updates the node's own points-to set, and
-///  buffers one emission record per outgoing edge into its private
-///  DeltaBuffer, bucketed by the *target's* shard (target id mod shard
-///  count). Nothing shared is written: points-to sets, Pending and Queued
-///  slots touched here belong exclusively to the popped node, edge
-///  targets are resolved through the non-compressing
-///  DisjointSets::findReadOnly, and type filters are not evaluated yet.
+///  **A. Weight-aware sharded sweep (parallel, work-stealing).** The
+///  sorted wave is cut into M = min(|wave|, threads x kChunksPerWorker)
+///  contiguous *sub-chunks* of near-equal estimated sweep cost
+///  (pta/ShardPlan.h: out-degree + pending-set size per node), each with
+///  its own private DeltaBuffer. Worker w initially owns a contiguous
+///  range of sub-chunks; every sub-chunk is claimed via an atomic flag,
+///  so once a worker drains its own range it *steals* from victims in
+///  the deterministic order w+1, w+2, ... (scanning each victim's range
+///  back to front, away from the victim's own cursor). Results live in
+///  per-sub-chunk buffers keyed by sub-chunk index — which thread swept a
+///  chunk is invisible to every later phase. A finished sub-chunk is
+///  *sealed* (release store) for the merge to consume.
 ///
-///  **B. Sharded merge (parallel).** Worker t folds every buffer's bucket
-///  t — scanning buffers in fixed shard order 0..S-1 — into the pending
-///  sets of its targets, applying cast-filter bitmaps (materialized
-///  serially at edge-addition time) and collecting newly dirtied nodes
-///  into a per-shard next-wave segment. Only shard t's Pending/Queued
-///  slots are written, so the phase is race-free by partition.
+///  **B. Seal-gated sharded merge (parallel, same region).** A worker
+///  that finds no sweep sub-chunk left to claim moves straight on to
+///  claiming target shards — it does not wait for the whole sweep. Shard
+///  t folds every buffer's bucket t in fixed buffer order 0..M-1,
+///  awaiting each buffer's seal (acquire) at most briefly: a claimed-but-
+///  unsealed buffer is actively being swept by some worker. Because a
+///  merge target may be a later node of the *current* wave (still to be
+///  swept), the merge never writes Pending/Queued directly: it folds into
+///  the side arrays PendingNext/QueuedNext, touched only per target shard.
+///
+///  **B2. Apply (serial).** After the region joins, the staged pendings
+///  are moved into Pending, Queued flags are set and the next wave is
+///  collected segment by segment in shard order — byte-identical state to
+///  what a full-barrier merge would have produced.
 ///
 ///  **C. Growth handlers (serial).** Deltas are replayed through
 ///  onVarGrowth in global wave order (buffers hold contiguous wave
 ///  chunks, so buffer order reconstructs it). Everything that mutates
 ///  shared structure — node interning, context creation, call-graph
 ///  edges, edge addition, filter-bitmap building — happens here or at
-///  wave boundaries (cycle collapsing), never inside phases A/B.
+///  wave boundaries (cycle collapsing), never inside the parallel region.
 ///
-/// Determinism: chunk boundaries depend only on (wave size, shard
-/// count), the merge scans buffers in fixed order, PointsToSet storage
-/// is canonical in its contents, and the wave sort breaks ties by node
-/// id — so the engine is bit-for-bit reproducible at *every* thread
-/// count, and its fixpoint equals the serial engines' (monotone
-/// confluence; enforced by pta::ResultDigest in
-/// tests/pta/ParallelSolverEquivalenceTest.cpp).
+/// Determinism: sub-chunk boundaries are a pure function of the wave
+/// (weights come from per-node state, never from timing), the merge scans
+/// buffers in fixed order, stealing only relocates *which thread* sweeps
+/// a chunk, and the wave sort breaks ties by node id — so the engine is
+/// bit-for-bit reproducible at *every* thread count, and its fixpoint
+/// equals the serial engines' (monotone confluence; enforced by
+/// pta::ResultDigest in tests/pta/ParallelSolverEquivalenceTest.cpp).
+///
+/// A timed-out run stops mid-wave: sweeps cut short, merges drop their
+/// remaining buckets. The dropped deliveries are counted so the exported
+/// accounting always balances: DeltasBuffered == DeltasMerged +
+/// DeltasDropped (DeltasDropped nonzero only when Stats.TimedOut).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAHJONG_PTA_PARALLELSOLVER_H
 #define MAHJONG_PTA_PARALLELSOLVER_H
 
+#include "pta/ShardPlan.h"
 #include "pta/Solver.h"
 #include "support/DeltaBuffer.h"
 #include "support/ThreadPool.h"
@@ -62,6 +79,11 @@ namespace mahjong::pta {
 /// laziness would leak mutation into the concurrent phases.
 class ParallelSolver final : public Solver {
 public:
+  /// Sub-chunks per worker: enough slack for stealing to absorb a
+  /// mis-estimated chunk, small enough that per-chunk overhead (buffer
+  /// reset, claim, seal) stays negligible.
+  static constexpr uint32_t kChunksPerWorker = 8;
+
   ParallelSolver(const ir::Program &P, const ir::ClassHierarchy &CH,
                  const HeapAbstraction &Heap, ContextSelector &Selector,
                  PTAResult &R, double TimeBudgetSeconds, unsigned Threads);
@@ -76,36 +98,73 @@ private:
 
   uint32_t shardOf(uint32_t Node) const { return Node % NumShards; }
 
-  /// Phase A for one chunk: pops Wave[Begin, End), updates owned sets and
-  /// buffers emissions into \p Buf. \returns the chunk's pop count.
-  uint64_t sweepChunk(const std::vector<uint32_t> &Wave, size_t Begin,
-                      size_t End, DeltaBuffer &Buf, const Timer &Clock);
+  /// Serial per-wave setup: weighs the wave, cuts it into WaveChunks
+  /// weighted sub-chunks (Bounds), resets buffers/claims/seals/counters.
+  void planWave(const std::vector<uint32_t> &Wave);
+
+  /// Phase A for one sub-chunk: pops Wave[Bounds[C], Bounds[C+1]),
+  /// updates owned sets and buffers emissions into Buffers[C]. Writes the
+  /// chunk's pop count (ChunkPops[C]) and its measured sweep work
+  /// (ChunkWork[C]: pops + delta elements processed + records emitted —
+  /// the same units the planner's weight estimate predicts).
+  void sweepChunk(const std::vector<uint32_t> &Wave, uint32_t C,
+                  const Timer &Clock);
 
   /// Phase B for one target shard: folds bucket \p Shard of every buffer
-  /// (in buffer order) into Pending/Queued, filling the shard's next-wave
-  /// segment and its merged/filter-hit counters.
+  /// (in buffer order 0..WaveChunks-1, awaiting seals) into
+  /// PendingNext/QueuedNext, filling the shard's next-wave segment and
+  /// its merged/filter-hit counters.
   void mergeShard(uint32_t Shard);
+
+  /// One worker of the fused region: claim-sweep own range, steal, then
+  /// claim-merge shards until none remain.
+  void waveWorker(const std::vector<uint32_t> &Wave, unsigned Me,
+                  const Timer &Clock);
+
+  /// Phase B2: applies the staged PendingNext/QueuedNext to
+  /// Pending/Queued and collects NextWave, segment by segment.
+  void applyMerge();
 
   /// Phase C: replays buffered deltas through the growth handlers in
   /// global wave order.
   void runGrowthHandlers();
 
-  /// Runs \p Body(Chunk, Begin, End) over [0, N) cut into NumShards
-  /// chunks — on the pool when one exists, inline otherwise (identical
-  /// boundaries either way).
-  template <typename Fn> void forEachChunk(size_t N, const Fn &Body);
+  /// Per-wave imbalance over the planned per-worker sub-chunk ranges
+  /// (measured pops + emitted records, before stealing): feeds the
+  /// run-level work-weighted mean / max pair.
+  void recordWaveBalance();
 
   unsigned Threads;   ///< resolved worker count (>= 1)
-  uint32_t NumShards; ///< == Threads; fixed for the whole run
+  uint32_t NumShards; ///< == Threads; merge partition, fixed for the run
   std::unique_ptr<ThreadPool> Pool; ///< null when Threads == 1
 
-  std::vector<DeltaBuffer> Buffers;            ///< one per sweep chunk
+  // --- Per-wave plan (serial writes in planWave, read-only in-region) ---
+  uint32_t WaveChunks = 0;         ///< live sub-chunk count M this wave
+  std::vector<uint64_t> Weights;   ///< scratch: per-node sweep weight
+  std::vector<uint64_t> Prefix;    ///< scratch: weight prefix sums
+  std::vector<size_t> Bounds;      ///< M+1 sub-chunk boundaries
+  std::vector<DeltaBuffer> Buffers; ///< one per sub-chunk; never shrunk
+  std::vector<uint64_t> ChunkPops; ///< per sub-chunk; never shrunk
+  std::vector<uint64_t> ChunkWork; ///< measured sweep work per sub-chunk
+
+  // --- Claim/seal flags (capacity FlagCap >= WaveChunks) ---
+  std::unique_ptr<std::atomic<uint8_t>[]> Claimed;
+  std::unique_ptr<std::atomic<uint8_t>[]> Sealed;
+  size_t FlagCap = 0;
+
+  // --- Merge staging (side arrays so the merge never races the sweep) ---
+  std::vector<PointsToSet> PendingNext; ///< staged deltas, per target node
+  std::vector<uint8_t> QueuedNext;      ///< staged dirty flags
   std::vector<std::vector<uint32_t>> Segments; ///< per-shard next-wave parts
-  std::vector<uint64_t> ChunkPops;             ///< phase-A scratch
-  std::vector<uint64_t> ShardWork;   ///< run-long records per sweep chunk
-  std::vector<uint64_t> ShardMerged; ///< phase-B scratch: folded records
+  std::vector<uint64_t> ShardMerged;     ///< phase-B scratch: folded records
   std::vector<uint64_t> ShardFilterHits; ///< phase-B scratch
-  std::atomic<bool> Stop{false};     ///< budget exhausted mid-sweep
+
+  std::atomic<uint32_t> NextMergeShard{0}; ///< merge-task claim cursor
+  std::atomic<uint64_t> Steals{0}; ///< sub-chunks swept by a non-owner
+  std::atomic<bool> Stop{false};   ///< budget exhausted mid-sweep
+
+  std::vector<uint64_t> WorkerWork; ///< per-wave scratch for balance stats
+  ImbalanceAccumulator Balance;
 };
 
 } // namespace mahjong::pta

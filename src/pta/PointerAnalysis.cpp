@@ -12,6 +12,8 @@
 #include "pta/ParallelSolver.h"
 #include "pta/Solver.h"
 
+#include <thread>
+
 using namespace mahjong;
 using namespace mahjong::ir;
 using namespace mahjong::pta;
@@ -58,6 +60,59 @@ void PTAResult::forEachFieldPts(
   }
 }
 
+const char *mahjong::pta::solverEngineName(SolverEngine Engine) {
+  switch (Engine) {
+  case SolverEngine::Wave:
+    return "wave";
+  case SolverEngine::Naive:
+    return "naive";
+  case SolverEngine::ParallelWave:
+    return "parallel";
+  case SolverEngine::Auto:
+    break;
+  }
+  return "auto";
+}
+
+namespace {
+
+// Calibrated against the checked-in full-scale engine races
+// (BENCH_solver.json). Measured work = numVars + 4*numObjs per profile:
+// antlr 80k, luindex 48k, lusearch 57k, fop 107k — all profiles where
+// the FIFO worklist beats wave outright (fop by 1.7x); then a wide gap
+// to checkstyle 574k, chart 623k and up, where wave is at worst within
+// a few percent of naive and wins big where collapsing bites (eclipse
+// 1.57M work, 1.68x; jpc 1.23M, 1.76x). The naive cutoff sits in the
+// gap, above fop. The parallel cutoff marks systems big enough that a
+// wave's sweep amortizes buffering — the eclipse class — and only
+// matters on hardware with real concurrency.
+constexpr uint64_t NaiveWorkCutoff = 250'000;
+constexpr uint64_t ParallelWorkCutoff = 1'500'000;
+
+} // namespace
+
+SolverEngine mahjong::pta::chooseSolverEngine(uint64_t NumVars,
+                                              uint64_t NumObjs,
+                                              unsigned HardwareThreads) {
+  // Work proxy: variables seed the constraint graph one node each;
+  // allocation sites weigh more, since objects multiply both field nodes
+  // and average set sizes.
+  uint64_t Work = NumVars + 4 * NumObjs;
+  if (Work < NaiveWorkCutoff)
+    return SolverEngine::Naive;
+  if (HardwareThreads >= 4 && Work >= ParallelWorkCutoff)
+    return SolverEngine::ParallelWave;
+  return SolverEngine::Wave;
+}
+
+SolverEngine mahjong::pta::chooseSolverEngine(const Program &P,
+                                              unsigned SolverThreads) {
+  unsigned HW = SolverThreads
+                    ? SolverThreads
+                    : std::max(1u, std::thread::hardware_concurrency());
+  return chooseSolverEngine(P.numVars(), P.numObjs(), HW);
+}
+
 std::unique_ptr<PTAResult>
 mahjong::pta::runPointerAnalysis(const Program &P, const ClassHierarchy &CH,
                                  const AnalysisOptions &Opts) {
@@ -67,11 +122,15 @@ mahjong::pta::runPointerAnalysis(const Program &P, const ClassHierarchy &CH,
   auto Selector = makeContextSelector(Opts.Kind, Opts.K, R->Ctxs, P);
   R->AnalysisName = analysisName(Opts.Kind, Opts.K);
   R->HeapName = Heap.name();
-  if (Opts.Engine == SolverEngine::Naive) {
+  SolverEngine Engine = Opts.Engine == SolverEngine::Auto
+                            ? chooseSolverEngine(P, Opts.SolverThreads)
+                            : Opts.Engine;
+  R->EngineName = solverEngineName(Engine);
+  if (Engine == SolverEngine::Naive) {
     obs::ScopedSpan Span("solve/naive");
     NaiveSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds);
     S.run();
-  } else if (Opts.Engine == SolverEngine::ParallelWave) {
+  } else if (Engine == SolverEngine::ParallelWave) {
     obs::ScopedSpan Span("solve/parallel");
     ParallelSolver S(P, CH, Heap, *Selector, *R, Opts.TimeBudgetSeconds,
                      Opts.SolverThreads);
@@ -103,5 +162,8 @@ void mahjong::pta::exportStats(const PTAStats &S, obs::MetricsRegistry &Reg,
   Reg.counter(Prefix + "parallel_waves").set(S.ParallelWaves);
   Reg.counter(Prefix + "deltas_buffered").set(S.DeltasBuffered);
   Reg.counter(Prefix + "deltas_merged").set(S.DeltasMerged);
+  Reg.counter(Prefix + "deltas_dropped").set(S.DeltasDropped);
+  Reg.counter(Prefix + "work_steals").set(S.WorkSteals);
   Reg.gauge(Prefix + "shard_imbalance_pct").set(S.ShardImbalancePct);
+  Reg.gauge(Prefix + "shard_imbalance_max_pct").set(S.ShardImbalanceMaxPct);
 }

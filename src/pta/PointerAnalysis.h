@@ -68,9 +68,24 @@ struct PTAStats {
   uint64_t ParallelWaves = 0;  ///< waves executed by the sharded sweep
   uint64_t DeltasBuffered = 0; ///< delivery records emitted into buffers
   uint64_t DeltasMerged = 0;   ///< delivery records folded by the merge
-  /// How uneven the sharded work was: (max - mean) / mean over per-shard
-  /// buffered-record totals, in percent. 0 when perfectly balanced.
+  /// Delivery records buffered but never folded because the run timed
+  /// out mid-wave. The conservation law the parallel engine guarantees is
+  /// DeltasBuffered == DeltasMerged + DeltasDropped — with DeltasDropped
+  /// nonzero only when TimedOut (see tests/pta/StatsConservationTest.cpp).
+  uint64_t DeltasDropped = 0;
+  /// Sweep sub-chunks executed by a worker other than their planned
+  /// owner. Scheduling telemetry: like Seconds, not deterministic.
+  uint64_t WorkSteals = 0;
+  /// How uneven the *planned* per-worker sweep work was, before stealing
+  /// rebalanced it: per wave, (max - mean) / mean over each worker's
+  /// measured sweep cost (pops + delta elements diffed + records
+  /// emitted), in percent; aggregated across waves as a work-weighted
+  /// mean. A pure function of the wave structure, so it is deterministic
+  /// across runs and machines.
   double ShardImbalancePct = 0;
+  /// Max of the same per-wave metric over waves with non-trivial work
+  /// (pta::ImbalanceAccumulator::MinWaveWorkForMax units or more).
+  double ShardImbalanceMaxPct = 0;
 };
 
 /// The complete solution of one points-to analysis run.
@@ -101,6 +116,9 @@ public:
   LogHistogram WaveMicros;
   std::string AnalysisName;
   std::string HeapName;
+  /// The concrete engine that produced this result ("wave", "naive",
+  /// "parallel") — under SolverEngine::Auto, the one the heuristic chose.
+  std::string EngineName;
 
   // --- Pointer-node key encoding ---
   static constexpr uint64_t KindVar = 0;
@@ -165,12 +183,43 @@ enum class SolverEngine {
   Wave,         ///< cycle-collapsing, topologically ordered wave propagation
   Naive,        ///< textbook FIFO worklist
   ParallelWave, ///< wave engine with sharded multi-threaded sweeps
+  Auto,         ///< pick one of the above from cheap pre-solve heuristics
 };
+
+/// The CLI-facing name of a *concrete* engine ("wave", "naive",
+/// "parallel"); Auto resolves before naming.
+const char *solverEngineName(SolverEngine Engine);
+
+/// Resolves SolverEngine::Auto to a concrete engine from cheap pre-solve
+/// size proxies. The heuristic, calibrated against BENCH_solver.json /
+/// BENCH_parallel_solver.json at full scale:
+///
+///  - Small constraint systems fit in cache and converge in a handful of
+///    waves; the naive FIFO worklist wins there because conditioning
+///    passes and wave sorting cost more than they save.
+///  - Large systems are dominated by redundant propagation around copy
+///    cycles; the wave engine's collapsing pays for itself many times
+///    over (eclipse/jpc run ~1.7x faster than naive).
+///  - The sharded parallel engine only amortizes its buffering overhead
+///    when there are both workers to use (\p HardwareThreads >= 4) and
+///    enough per-wave work to split.
+///
+/// A pure function of its arguments: same program + same thread budget =>
+/// same engine, on any machine with the same core count.
+SolverEngine chooseSolverEngine(uint64_t NumVars, uint64_t NumObjs,
+                                unsigned HardwareThreads);
+
+/// Convenience overload: size proxies from \p P, worker budget from
+/// \p SolverThreads (0 = std::thread::hardware_concurrency()).
+SolverEngine chooseSolverEngine(const ir::Program &P, unsigned SolverThreads);
 
 /// Options selecting the analysis variant.
 struct AnalysisOptions {
   ContextKind Kind = ContextKind::Insensitive;
   unsigned K = 0;
+  /// The propagation engine; Auto resolves via chooseSolverEngine at run
+  /// start (the CLI default). The library default stays Wave so embedders
+  /// get the deterministic single-engine behavior they always had.
   SolverEngine Engine = SolverEngine::Wave;
   /// Heap abstraction; null means the allocation-site abstraction.
   const HeapAbstraction *Heap = nullptr;
@@ -201,8 +250,9 @@ namespace mahjong::pta {
 
 /// Publishes every PTAStats field into \p Reg under
 /// "<Prefix><snake_case_field>" — integral fields as counters, Seconds
-/// and ShardImbalancePct as gauges. The registry is the machine-readable
-/// face of the hand-printed CLI stats block; keep the two in sync.
+/// and the imbalance percentages as gauges. The registry is the machine-
+/// readable face of the hand-printed CLI stats block; keep the two in
+/// sync.
 void exportStats(const PTAStats &S, obs::MetricsRegistry &Reg,
                  const std::string &Prefix = "pta.");
 

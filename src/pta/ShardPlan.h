@@ -1,0 +1,147 @@
+//===-- pta/ShardPlan.h - Weight-aware wave partitioning ------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wave-parallel engine's scheduling arithmetic, kept as free
+/// functions so the partitioning and the imbalance semantics are unit-
+/// testable without running a solver (tests/pta/ShardPlanTest.cpp).
+///
+/// A sorted wave is cut into contiguous *sub-chunks* of near-equal
+/// estimated sweep cost, not near-equal node count: per-node cost is
+/// estimated from out-degree (emission records to write) plus the pending
+/// delta's element count (set work to diff and union). Both are O(1)
+/// reads, so planning a wave is one linear pass plus a prefix sum.
+///
+/// Because the sub-chunks are contiguous ranges of the *sorted* wave,
+/// any cut — equal-count, equal-weight, or otherwise — yields the same
+/// merge fold order (buffer order reconstructs wave order), so weights
+/// affect only load balance, never the result. That is the invariant the
+/// digest-equivalence suite pins across thread counts.
+///
+/// Imbalance is reported per wave over the *planned* per-worker work
+/// (measured sweep cost — pops + delta elements diffed + records
+/// emitted — of each worker's initial sub-chunk range, before stealing
+/// moves anything): (max - mean) / mean in percent. Waves are aggregated into a work-weighted mean — so a
+/// thousand two-node waves cannot drown out one big skewed wave, and
+/// vice versa — plus a max over waves carrying at least MinWaveWorkForMax
+/// units, so trivial waves (where imbalance is meaningless) never set the
+/// high-water mark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_PTA_SHARDPLAN_H
+#define MAHJONG_PTA_SHARDPLAN_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mahjong::pta {
+
+/// Estimated cost of sweeping one node: one pop, plus one emission record
+/// per outgoing edge, plus one unit per pending element (diff + union are
+/// linear in the delta). The constant keeps empty stale entries from
+/// collapsing a chunk to zero weight.
+inline uint64_t sweepWeight(size_t OutDegree, size_t PendingSize) {
+  return 1 + static_cast<uint64_t>(OutDegree) +
+         static_cast<uint64_t>(PendingSize);
+}
+
+/// Cuts [0, Weights.size()) into \p NumChunks contiguous ranges of near-
+/// equal cumulative weight. Fills \p Bounds with NumChunks + 1 monotone
+/// boundaries (Bounds[0] == 0, Bounds[NumChunks] == N); chunk c spans
+/// [Bounds[c], Bounds[c+1]) and may be empty when a single item outweighs
+/// an ideal chunk. \p Prefix is caller-owned scratch (reused across waves
+/// to keep steady-state allocations flat).
+inline void weightedChunkBounds(const std::vector<uint64_t> &Weights,
+                                size_t NumChunks,
+                                std::vector<size_t> &Bounds,
+                                std::vector<uint64_t> &Prefix) {
+  size_t N = Weights.size();
+  NumChunks = std::max<size_t>(NumChunks, 1);
+  Prefix.resize(N + 1);
+  Prefix[0] = 0;
+  for (size_t I = 0; I < N; ++I)
+    Prefix[I + 1] = Prefix[I] + Weights[I];
+  uint64_t Total = Prefix[N];
+  Bounds.resize(NumChunks + 1);
+  Bounds[0] = 0;
+  Bounds[NumChunks] = N;
+  for (size_t C = 1; C < NumChunks; ++C) {
+    // Greedy re-targeting: each cut aims for an equal share of the weight
+    // *remaining* after the previous cut, so one over-heavy item inflates
+    // only its own chunk instead of starving every chunk after it.
+    uint64_t Done = Prefix[Bounds[C - 1]];
+    uint64_t Remaining = Total - Done;
+    uint64_t ChunksLeft = NumChunks - (C - 1);
+    uint64_t Target = Done + (Remaining + ChunksLeft / 2) / ChunksLeft;
+    size_t I = static_cast<size_t>(
+        std::lower_bound(Prefix.begin(), Prefix.end(), Target) -
+        Prefix.begin());
+    Bounds[C] = std::clamp(I, Bounds[C - 1], N);
+  }
+}
+
+/// Convenience overload for tests.
+inline std::vector<size_t>
+weightedChunkBounds(const std::vector<uint64_t> &Weights, size_t NumChunks) {
+  std::vector<size_t> Bounds;
+  std::vector<uint64_t> Prefix;
+  weightedChunkBounds(Weights, NumChunks, Bounds, Prefix);
+  return Bounds;
+}
+
+/// (max - mean) / mean over \p Work, in percent; 0 for fewer than two
+/// workers or no work at all (imbalance is undefined there, and reporting
+/// 0 keeps single-threaded runs honest).
+inline double imbalancePct(const std::vector<uint64_t> &Work) {
+  if (Work.size() < 2)
+    return 0;
+  uint64_t Total = 0, Max = 0;
+  for (uint64_t W : Work) {
+    Total += W;
+    Max = std::max(Max, W);
+  }
+  if (Total == 0)
+    return 0;
+  double Mean = static_cast<double>(Total) / static_cast<double>(Work.size());
+  return (static_cast<double>(Max) - Mean) / Mean * 100.0;
+}
+
+/// Aggregates per-wave imbalance into the run-level pair the stats
+/// export: a work-weighted mean and a max over non-trivial waves.
+struct ImbalanceAccumulator {
+  /// A wave must carry at least this much total work (pops + records) to
+  /// be eligible for the max — a two-node wave on eight workers is 700%
+  /// "imbalanced" by arithmetic but meaningless as a scheduling signal.
+  static constexpr uint64_t MinWaveWorkForMax = 256;
+
+  double MaxPct = 0;
+  double WeightedSum = 0;
+  uint64_t TotalWork = 0;
+
+  void addWave(const std::vector<uint64_t> &PerWorkerWork) {
+    uint64_t WaveWork = 0;
+    for (uint64_t W : PerWorkerWork)
+      WaveWork += W;
+    if (WaveWork == 0)
+      return;
+    double Pct = imbalancePct(PerWorkerWork);
+    WeightedSum += Pct * static_cast<double>(WaveWork);
+    TotalWork += WaveWork;
+    if (WaveWork >= MinWaveWorkForMax)
+      MaxPct = std::max(MaxPct, Pct);
+  }
+
+  double meanPct() const {
+    return TotalWork ? WeightedSum / static_cast<double>(TotalWork) : 0;
+  }
+};
+
+} // namespace mahjong::pta
+
+#endif // MAHJONG_PTA_SHARDPLAN_H

@@ -18,6 +18,14 @@
 /// the fold independent of thread scheduling. The buffer itself is
 /// single-writer by construction and exposes only const access afterward.
 ///
+/// reset() retains every capacity the buffer ever grew: record buckets
+/// keep their vectors, and delta slots are recycled by live count rather
+/// than destroyed — the engine resets each buffer once per wave, and a
+/// run has thousands of waves, so per-wave reallocation churn would
+/// dominate small-wave cost. The capacity probes (deltaSlotCapacity,
+/// bucketCapacity) exist so a regression test can pin steady-state
+/// allocations flat (tests/support/DeltaBufferTest.cpp).
+///
 /// Emission and drain counters (numRecords / numDeltas) let the solver
 /// assert conservation: every buffered record must be folded exactly once.
 ///
@@ -47,61 +55,97 @@ public:
     uint32_t FilterPlus1; ///< 0 = deliver as-is, else filter id + 1
   };
 
-  /// Clears all deltas and records and re-buckets for \p NumTargetShards.
-  /// Bucket storage is retained across waves to avoid reallocation.
+  /// Empties all deltas and records and re-buckets for \p NumTargetShards.
+  /// All storage — bucket vectors and delta slots (including each slot's
+  /// PointsToSet chunk array) — is retained, so a steady-state wave loop
+  /// allocates nothing here.
   void reset(uint32_t NumTargetShards) {
-    Deltas.clear();
-    if (Buckets.size() != NumTargetShards)
+    LiveDeltas = 0;
+    if (Buckets.size() < NumTargetShards)
       Buckets.resize(NumTargetShards);
+    NumShards = NumTargetShards;
     for (auto &B : Buckets)
-      B.clear();
+      B.clear(); // clears *every* bucket, so a shrink leaves no stale records
   }
 
   /// Stores the delta that node \p Node gained this wave. Returns the slot
   /// for use in emit(); the set is stored once regardless of fan-out.
   uint32_t addDelta(uint32_t Node, PointsToSet &&Delta) {
-    Deltas.emplace_back(Node, std::move(Delta));
-    return static_cast<uint32_t>(Deltas.size() - 1);
+    if (LiveDeltas < Deltas.size()) {
+      // Recycle a retired slot: move-assign reuses the set's storage.
+      Deltas[LiveDeltas].first = Node;
+      Deltas[LiveDeltas].second = std::move(Delta);
+    } else {
+      Deltas.emplace_back(Node, std::move(Delta));
+    }
+    return LiveDeltas++;
   }
 
   /// Records delivery of delta \p DeltaSlot to \p Target, whose shard is
   /// \p TargetShard. Call only from the worker that owns this buffer.
   void emit(uint32_t TargetShard, uint32_t Target, uint32_t DeltaSlot,
             uint32_t FilterPlus1) {
-    assert(TargetShard < Buckets.size() && "target shard out of range");
-    assert(DeltaSlot < Deltas.size() && "emit before addDelta");
+    assert(TargetShard < NumShards && "target shard out of range");
+    assert(DeltaSlot < LiveDeltas && "emit before addDelta");
     Buckets[TargetShard].push_back({Target, DeltaSlot, FilterPlus1});
   }
 
   /// Records destined for \p TargetShard, in emission order.
   const std::vector<Record> &records(uint32_t TargetShard) const {
+    assert(TargetShard < NumShards && "target shard out of range");
     return Buckets[TargetShard];
   }
 
-  const PointsToSet &delta(uint32_t Slot) const { return Deltas[Slot].second; }
+  const PointsToSet &delta(uint32_t Slot) const {
+    assert(Slot < LiveDeltas && "dead delta slot");
+    return Deltas[Slot].second;
+  }
 
   /// Deltas in the order the worker produced them (wave order within the
   /// worker's contiguous chunk). The solver's serialized growth phase
   /// walks these buffer-by-buffer, reconstructing global wave order.
-  size_t numDeltas() const { return Deltas.size(); }
-  uint32_t deltaNode(size_t I) const { return Deltas[I].first; }
-  const PointsToSet &deltaSet(size_t I) const { return Deltas[I].second; }
+  size_t numDeltas() const { return LiveDeltas; }
+  uint32_t deltaNode(size_t I) const {
+    assert(I < LiveDeltas && "dead delta slot");
+    return Deltas[I].first;
+  }
+  const PointsToSet &deltaSet(size_t I) const {
+    assert(I < LiveDeltas && "dead delta slot");
+    return Deltas[I].second;
+  }
 
   /// Total records emitted across all buckets (conservation check).
   size_t numRecords() const {
     size_t Total = 0;
-    for (const auto &B : Buckets)
-      Total += B.size();
+    for (uint32_t B = 0; B < NumShards; ++B)
+      Total += Buckets[B].size();
     return Total;
   }
 
-  uint32_t numTargetShards() const {
-    return static_cast<uint32_t>(Buckets.size());
+  uint32_t numTargetShards() const { return NumShards; }
+
+  // --- Capacity probes (regression tests only) ---
+
+  /// Retained delta slots, live or recycled.
+  size_t deltaSlotCapacity() const { return Deltas.size(); }
+  /// Retained record capacity of one bucket.
+  size_t bucketCapacity(uint32_t TargetShard) const {
+    return TargetShard < Buckets.size() ? Buckets[TargetShard].capacity() : 0;
+  }
+  /// Sum of all bucket capacities ever grown (including shards beyond the
+  /// current reset width — those are retained too).
+  size_t totalBucketCapacity() const {
+    size_t Total = 0;
+    for (const auto &B : Buckets)
+      Total += B.capacity();
+    return Total;
   }
 
 private:
   std::vector<std::pair<uint32_t, PointsToSet>> Deltas;
-  std::vector<std::vector<Record>> Buckets;
+  uint32_t LiveDeltas = 0; ///< Deltas[0, LiveDeltas) are this wave's
+  std::vector<std::vector<Record>> Buckets; ///< grown, never shrunk
+  uint32_t NumShards = 0; ///< buckets addressable since the last reset
 };
 
 } // namespace mahjong

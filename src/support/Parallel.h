@@ -67,6 +67,24 @@ void parallelChunks(ThreadPool &Pool, size_t N, size_t NumChunks,
   Pool.wait();
 }
 
+/// Launches exactly \p NumWorkers copies of \p Body(WorkerId) on \p Pool
+/// and blocks until all return, rethrowing the first worker exception.
+/// For cooperative schedulers — the wave-parallel solver's fused
+/// sweep/merge region — where each worker claims work items itself
+/// instead of receiving a pre-cut range: the pool sees opaque
+/// long-running tasks, the caller owns the claiming discipline.
+template <typename BodyFn>
+void parallelWorkers(ThreadPool &Pool, unsigned NumWorkers,
+                     const BodyFn &Body) {
+  if (NumWorkers <= 1) {
+    Body(0u);
+    return;
+  }
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Pool.enqueue([&Body, W] { Body(W); });
+  Pool.wait();
+}
+
 /// Runs \p Body(I) for every I in [0, N) across \p Pool. Work is split
 /// into more chunks than workers (4x oversubscription) so uneven items —
 /// the modeler's type buckets differ by orders of magnitude — still load-

@@ -161,6 +161,19 @@ TEST(CliSmoke, SolverEnginesAgreeOnClientCounts) {
   EXPECT_NE(P.Out.find("shard imbalance"), std::string::npos) << P.Out;
   // Serial engines do not print the parallel-only line.
   EXPECT_EQ(W.Out.find("parallel waves:"), std::string::npos) << W.Out;
+
+  // The auto default agrees as well, and reports its resolved choice as
+  // `solver (auto:<engine>)`.
+  CliRun A = run({"analyze", Mj, "--analysis", "2obj", "--heap", "site",
+                  "--solver", "auto"});
+  ASSERT_EQ(A.Exit, cli::ExitOk) << A.Err;
+  EXPECT_EQ(Metrics(W.Out), Metrics(A.Out));
+  EXPECT_NE(A.Out.find("solver (auto:"), std::string::npos) << A.Out;
+  // Omitting --solver entirely is the same as asking for auto.
+  CliRun D = run({"analyze", Mj, "--analysis", "2obj", "--heap", "site"});
+  ASSERT_EQ(D.Exit, cli::ExitOk) << D.Err;
+  EXPECT_EQ(Metrics(A.Out), Metrics(D.Out));
+  EXPECT_NE(D.Out.find("solver (auto:"), std::string::npos) << D.Out;
 }
 
 TEST(CliSmoke, MissingInputsAreIOErrors) {

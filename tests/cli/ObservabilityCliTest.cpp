@@ -116,8 +116,11 @@ TEST(ObservabilityCli, AnalyzeWritesValidTraceAndMetrics) {
   std::string Mj = writeFile("obs.mj", FixtureSrc);
   std::string Trace = testing::TempDir() + "/obs_trace.json";
   std::string Metrics = testing::TempDir() + "/obs_metrics.json";
-  CliRun R = run({"analyze", Mj, "--analysis", "ci", "--trace-out", Trace,
-                  "--metrics-out", Metrics});
+  // Pin the wave engine: this test asserts wave-specific spans and the
+  // pta.wave_us histogram, which the auto default would route around on a
+  // fixture this small (auto resolves to naive).
+  CliRun R = run({"analyze", Mj, "--analysis", "ci", "--solver", "wave",
+                  "--trace-out", Trace, "--metrics-out", Metrics});
   ASSERT_EQ(R.Exit, cli::ExitOk) << R.Err;
   EXPECT_NE(R.Out.find("trace written to"), std::string::npos) << R.Out;
   EXPECT_NE(R.Out.find("metrics written to"), std::string::npos) << R.Out;
@@ -214,6 +217,7 @@ TEST(ObservabilityCli, StatsJsonGolden) {
     "clients.reachable_methods": 3,
     "clients.total_casts": 1,
     "pta.deltas_buffered": 0,
+    "pta.deltas_dropped": 0,
     "pta.deltas_merged": 0,
     "pta.filter_bitmap_hits": 1,
     "pta.nodes_collapsed": 0,
@@ -227,6 +231,7 @@ TEST(ObservabilityCli, StatsJsonGolden) {
     "pta.set_bytes": 176,
     "pta.timed_out": 0,
     "pta.var_pts_entries": 12,
+    "pta.work_steals": 0,
     "pta.working_set_bytes": 176,
     "pta.worklist_pops": 11
   },
@@ -235,6 +240,7 @@ TEST(ObservabilityCli, StatsJsonGolden) {
     "phase.main_analysis_seconds": 0,
     "phase.parse_seconds": 0,
     "pta.seconds": 0,
+    "pta.shard_imbalance_max_pct": 0,
     "pta.shard_imbalance_pct": 0
   },
   "histograms": {

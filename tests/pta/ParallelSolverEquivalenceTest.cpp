@@ -34,7 +34,10 @@ using namespace mahjong::test;
 
 namespace {
 
-const unsigned ThreadCounts[] = {1, 2, 8};
+// Powers of two are not enough: the weight-aware partitioner and the
+// stealing victim order must also hold at odd widths, where sub-chunk
+// ranges split unevenly across workers.
+const unsigned ThreadCounts[] = {1, 2, 3, 5, 7, 8};
 
 std::unique_ptr<PTAResult> runWith(const ir::Program &P,
                                    const ir::ClassHierarchy &CH,
@@ -64,8 +67,11 @@ void expectParallelMatchesWave(const ir::Program &P,
     EXPECT_EQ(WaveDigest, canonicalResultDigest(*Par))
         << Label << " @" << Threads << " threads";
     // The merge phase must account for every buffered delta record
-    // (conservation: nothing dropped, nothing folded twice).
+    // (conservation: nothing dropped, nothing folded twice — a complete
+    // run never drops).
     EXPECT_EQ(Par->Stats.DeltasBuffered, Par->Stats.DeltasMerged)
+        << Label << " @" << Threads << " threads";
+    EXPECT_EQ(Par->Stats.DeltasDropped, 0u)
         << Label << " @" << Threads << " threads";
     EXPECT_GT(Par->Stats.ParallelWaves, 0u) << Label;
     // Aggregates the CLI prints must agree with the serial engine too.
@@ -88,7 +94,7 @@ class ParallelSolverEquivalenceProfile
     : public ::testing::TestWithParam<std::string> {};
 
 // All five context policies (plus ci) on each of the 12 profiles, each at
-// thread counts 1, 2 and 8 — on any machine the digests must be
+// thread counts 1, 2, 3, 5, 7 and 8 — on any machine the digests must be
 // bit-identical to the serial wave engine and to each other.
 TEST_P(ParallelSolverEquivalenceProfile, MatchesSerialWaveAtEveryThreadCount) {
   auto P = workload::buildBenchmarkProgram(GetParam(), 0.04);
@@ -164,6 +170,36 @@ TEST(ParallelSolverEquivalence, DeepCopyCycleMergeLosesNoDelta) {
               pointeeObjs(*Wave, "Main.main/0", "v63"));
     EXPECT_EQ(pointeeObjs(*Par, "Main.main/0", "w"),
               pointeeObjs(*Wave, "Main.main/0", "w"));
+  }
+}
+
+TEST(ParallelSolverEquivalence, WorkStealingIsDeterministicAcrossRuns) {
+  // Work stealing moves sub-chunks between threads at runtime, so the
+  // schedule differs on every run — but results are keyed by sub-chunk
+  // index, never by thread, so repeated runs at the same width must be
+  // byte-identical. The deep-copy-cycle profile maximizes scheduling
+  // freedom: waves are long chains of near-empty nodes (stolen chunks
+  // finish instantly) punctuated by collapse-heavy ones.
+  auto P = parseOrDie(deepCopyCycleSource(96));
+  ir::ClassHierarchy CH(*P);
+  for (unsigned Threads : {3u, 7u}) {
+    SCOPED_TRACE(Threads);
+    uint64_t FirstDigest = 0;
+    uint64_t FirstBuffered = 0;
+    for (int Run = 0; Run < 4; ++Run) {
+      auto R = runWith(*P, CH, ContextKind::Insensitive, 0,
+                       SolverEngine::ParallelWave, Threads);
+      uint64_t Digest = canonicalResultDigest(*R);
+      if (Run == 0) {
+        FirstDigest = Digest;
+        FirstBuffered = R->Stats.DeltasBuffered;
+      } else {
+        EXPECT_EQ(Digest, FirstDigest) << "run " << Run;
+        // The deterministic accounting too, not just the solution.
+        EXPECT_EQ(R->Stats.DeltasBuffered, FirstBuffered) << "run " << Run;
+      }
+      EXPECT_EQ(R->Stats.DeltasBuffered, R->Stats.DeltasMerged);
+    }
   }
 }
 

@@ -1,0 +1,136 @@
+//===-- tests/pta/ShardPlanTest.cpp ------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The wave-parallel scheduler's partitioning and imbalance arithmetic
+// (pta/ShardPlan.h), pinned in isolation. The semantics pinned here are
+// what Stats.ShardImbalancePct / ShardImbalanceMaxPct mean: per-wave
+// (max - mean) / mean over per-worker work, aggregated as a work-
+// weighted mean plus a max that ignores trivial waves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/ShardPlan.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace mahjong::pta;
+
+namespace {
+
+uint64_t chunkWeight(const std::vector<uint64_t> &W,
+                     const std::vector<size_t> &Bounds, size_t C) {
+  uint64_t Total = 0;
+  for (size_t I = Bounds[C]; I < Bounds[C + 1]; ++I)
+    Total += W[I];
+  return Total;
+}
+
+} // namespace
+
+TEST(ShardPlan, UniformWeightsSplitLikeEqualCounts) {
+  std::vector<uint64_t> W(100, 1);
+  auto Bounds = weightedChunkBounds(W, 4);
+  ASSERT_EQ(Bounds.size(), 5u);
+  EXPECT_EQ(Bounds.front(), 0u);
+  EXPECT_EQ(Bounds.back(), 100u);
+  for (size_t C = 0; C < 4; ++C)
+    EXPECT_EQ(chunkWeight(W, Bounds, C), 25u) << "chunk " << C;
+}
+
+TEST(ShardPlan, SkewedWeightsEqualizeCost) {
+  // One node carries half of the total work: equal-count chunking would
+  // hand chunk 0 a 10x load; weighted chunking isolates the heavy node.
+  std::vector<uint64_t> W(100, 1);
+  W[0] = 100; // total 199
+  auto Bounds = weightedChunkBounds(W, 4);
+  // The heavy item alone already exceeds an ideal chunk (~50): the first
+  // cut lands right after it.
+  EXPECT_EQ(Bounds[1], 1u);
+  // Remaining chunks share the 99 unit-weight nodes near-evenly.
+  for (size_t C = 1; C < 4; ++C) {
+    uint64_t Weight = chunkWeight(W, Bounds, C);
+    EXPECT_GE(Weight, 24u) << "chunk " << C;
+    EXPECT_LE(Weight, 51u) << "chunk " << C;
+  }
+}
+
+TEST(ShardPlan, BoundsAreMonotoneAndCoverEvenWhenOneItemDominates) {
+  // A mega-item mid-range: chunks before it fill up, chunks after it may
+  // be empty — but bounds must stay sorted and cover [0, N).
+  std::vector<uint64_t> W = {1, 1, 1000, 1, 1};
+  auto Bounds = weightedChunkBounds(W, 4);
+  ASSERT_EQ(Bounds.size(), 5u);
+  EXPECT_EQ(Bounds.front(), 0u);
+  EXPECT_EQ(Bounds.back(), 5u);
+  for (size_t C = 0; C < 4; ++C)
+    EXPECT_LE(Bounds[C], Bounds[C + 1]);
+  uint64_t Covered = 0;
+  for (size_t C = 0; C < 4; ++C)
+    Covered += chunkWeight(W, Bounds, C);
+  EXPECT_EQ(Covered, std::accumulate(W.begin(), W.end(), uint64_t(0)));
+}
+
+TEST(ShardPlan, MoreChunksThanItemsDegradesToSingletons) {
+  std::vector<uint64_t> W = {5, 5};
+  auto Bounds = weightedChunkBounds(W, 8);
+  ASSERT_EQ(Bounds.size(), 9u);
+  EXPECT_EQ(Bounds.front(), 0u);
+  EXPECT_EQ(Bounds.back(), 2u);
+  for (size_t C = 0; C < 8; ++C)
+    EXPECT_LE(Bounds[C + 1] - Bounds[C], 1u);
+}
+
+TEST(ShardPlan, SweepWeightCombinesDegreeAndPendingWithFloor) {
+  EXPECT_EQ(sweepWeight(0, 0), 1u); // stale entries still cost one visit
+  EXPECT_EQ(sweepWeight(3, 7), 11u);
+}
+
+TEST(ShardPlan, ImbalancePctMatchesHandComputedValues) {
+  EXPECT_DOUBLE_EQ(imbalancePct({10, 10, 10, 10}), 0.0);
+  // mean 10, max 40: (40 - 10) / 10 = 300%.
+  EXPECT_DOUBLE_EQ(imbalancePct({40, 0, 0, 0}), 300.0);
+  // mean 15, max 20: 33.33..%.
+  EXPECT_NEAR(imbalancePct({10, 20}), 33.33, 0.01);
+  // Degenerate inputs report 0, not NaN.
+  EXPECT_DOUBLE_EQ(imbalancePct({}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalancePct({42}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalancePct({0, 0, 0}), 0.0);
+}
+
+TEST(ShardPlan, AccumulatorWeightsWavesByWork) {
+  ImbalanceAccumulator Acc;
+  // A perfectly balanced big wave and an equally big 300%-skewed wave:
+  // the mean weights them by their (equal) total work.
+  Acc.addWave({500, 500, 500, 500}); // 2000 units, 0%
+  Acc.addWave({2000, 0, 0, 0});      // 2000 units, 300%
+  EXPECT_DOUBLE_EQ(Acc.meanPct(), 150.0);
+  EXPECT_DOUBLE_EQ(Acc.MaxPct, 300.0);
+}
+
+TEST(ShardPlan, TinyWavesCannotSetTheMax) {
+  ImbalanceAccumulator Acc;
+  // A two-node wave on 8 workers is 700% "imbalanced" — and meaningless.
+  // It stays out of the max, and its 2 units of work cannot move a mean
+  // dominated by real waves.
+  Acc.addWave({1, 1, 0, 0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(Acc.MaxPct, 0.0);
+  Acc.addWave({300, 300, 300, 300, 300, 300, 300, 300}); // 2400 units, 0%
+  EXPECT_LT(Acc.meanPct(), 1.0);
+  EXPECT_DOUBLE_EQ(Acc.MaxPct, 0.0);
+  // A big skewed wave does set it.
+  Acc.addWave({600, 200, 200, 200, 200, 200, 200, 600}); // 2400 units
+  EXPECT_GT(Acc.MaxPct, 0.0);
+}
+
+TEST(ShardPlan, EmptyWavesAreIgnored) {
+  ImbalanceAccumulator Acc;
+  Acc.addWave({0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(Acc.meanPct(), 0.0);
+  EXPECT_DOUBLE_EQ(Acc.MaxPct, 0.0);
+  EXPECT_EQ(Acc.TotalWork, 0u);
+}

@@ -5,14 +5,16 @@
 //===----------------------------------------------------------------------===//
 //
 // Conservation laws of the PTAStats the observability layer exports.
-// Since this PR, SetBytes is computed uniformly by SolverCore over the
+// Since PR 5, SetBytes is computed uniformly by SolverCore over the
 // flattened solution (PointsToSet::liveBytes), so it — like
 // VarPtsEntries — is a pure function of the solution and must be
 // bit-identical across the naive, wave, and parallel engines on every
 // workload profile. The parallel engine's delta accounting must balance
-// (DeltasBuffered == DeltasMerged) at every thread count; the engine-
-// owned WorkingSetBytes may differ between engines but never be zero on
-// a non-trivial run.
+// at every thread count: DeltasBuffered == DeltasMerged + DeltasDropped,
+// with DeltasDropped nonzero only on a timed-out run (a timeout stops
+// mid-wave, so deliveries already buffered are dropped — and counted).
+// The engine-owned WorkingSetBytes may differ between engines but never
+// be zero on a non-trivial run.
 //
 //===----------------------------------------------------------------------===//
 
@@ -55,9 +57,37 @@ TEST(StatsConservation, SolutionStatsAgreeAcrossEnginesOnAllProfiles) {
       SCOPED_TRACE(Threads);
       auto Par = runWith(*P, CH, SolverEngine::ParallelWave, Threads);
       EXPECT_EQ(Par->Stats.DeltasBuffered, Par->Stats.DeltasMerged);
+      EXPECT_EQ(Par->Stats.DeltasDropped, 0u); // complete runs drop nothing
       EXPECT_EQ(Par->Stats.VarPtsEntries, Wave->Stats.VarPtsEntries);
       EXPECT_EQ(Par->Stats.SetBytes, Wave->Stats.SetBytes);
       EXPECT_GT(Par->Stats.WorkingSetBytes, 0u);
+    }
+  }
+}
+
+TEST(StatsConservation, TimeoutDropsAreCountedNotLost) {
+  // A budget of (effectively) zero stops the parallel engine at its
+  // first in-sweep budget check — mid-wave, with deliveries already
+  // buffered that the merge phase then abandons. Those must land in
+  // DeltasDropped so the conservation law still balances; silently
+  // vanishing buffered work was the pre-fix defect.
+  auto P = workload::buildBenchmarkProgram("chart", 0.1);
+  ir::ClassHierarchy CH(*P);
+  for (unsigned Threads : {1u, 2u}) {
+    SCOPED_TRACE(Threads);
+    AnalysisOptions Opts;
+    Opts.Engine = SolverEngine::ParallelWave;
+    Opts.SolverThreads = Threads;
+    Opts.TimeBudgetSeconds = 1e-9;
+    auto R = runPointerAnalysis(*P, CH, Opts);
+    EXPECT_TRUE(R->Stats.TimedOut);
+    EXPECT_EQ(R->Stats.DeltasBuffered,
+              R->Stats.DeltasMerged + R->Stats.DeltasDropped);
+    if (Threads == 1) {
+      // Single-threaded the schedule is fixed: the sweep buffers real
+      // work before the 64-pop budget check fires, so the drop counter
+      // must actually engage (not balance trivially at 0 == 0 + 0).
+      EXPECT_GT(R->Stats.DeltasDropped, 0u);
     }
   }
 }

@@ -1,0 +1,142 @@
+//===-- tests/support/DeltaBufferTest.cpp ------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// DeltaBuffer semantics plus its capacity-retention contract: reset()
+// recycles every byte of storage — bucket vectors and delta slots alike —
+// so the wave-parallel solver's steady-state wave loop allocates nothing
+// per wave. The capacity probes pin that as a regression test: capacities
+// after a refill of the same shape must equal the capacities before the
+// reset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DeltaBuffer.h"
+
+#include <gtest/gtest.h>
+
+using namespace mahjong;
+
+namespace {
+
+/// A representative wave's worth of traffic: \p NumDeltas deltas, each
+/// emitted to two targets spread round-robin over the buckets.
+void fillTypicalWave(DeltaBuffer &Buf, uint32_t NumShards,
+                     uint32_t NumDeltas) {
+  Buf.reset(NumShards);
+  for (uint32_t I = 0; I < NumDeltas; ++I) {
+    PointsToSet Delta;
+    Delta.insert(I);
+    Delta.insert(I + 1000);
+    uint32_t Slot = Buf.addDelta(/*Node=*/I, std::move(Delta));
+    Buf.emit(I % NumShards, /*Target=*/I, Slot, /*FilterPlus1=*/0);
+    Buf.emit((I + 1) % NumShards, /*Target=*/I + 1, Slot, /*FilterPlus1=*/3);
+  }
+}
+
+} // namespace
+
+TEST(DeltaBuffer, RecordsLandInTheirBucketInEmissionOrder) {
+  DeltaBuffer Buf;
+  Buf.reset(4);
+  PointsToSet D1, D2;
+  D1.insert(7);
+  D2.insert(8);
+  uint32_t S1 = Buf.addDelta(10, std::move(D1));
+  uint32_t S2 = Buf.addDelta(11, std::move(D2));
+  Buf.emit(2, 102, S1, 0);
+  Buf.emit(2, 202, S2, 5);
+  Buf.emit(0, 100, S1, 0);
+
+  EXPECT_EQ(Buf.numDeltas(), 2u);
+  EXPECT_EQ(Buf.numRecords(), 3u);
+  ASSERT_EQ(Buf.records(2).size(), 2u);
+  EXPECT_EQ(Buf.records(2)[0].Target, 102u);
+  EXPECT_EQ(Buf.records(2)[1].Target, 202u);
+  EXPECT_EQ(Buf.records(2)[1].FilterPlus1, 5u);
+  EXPECT_EQ(Buf.records(1).size(), 0u);
+  EXPECT_TRUE(Buf.delta(S1).contains(7));
+  EXPECT_EQ(Buf.deltaNode(0), 10u);
+  EXPECT_EQ(Buf.deltaNode(1), 11u);
+}
+
+TEST(DeltaBuffer, ResetEmptiesButRetainsEveryCapacity) {
+  DeltaBuffer Buf;
+  fillTypicalWave(Buf, 8, 64);
+  ASSERT_EQ(Buf.numDeltas(), 64u);
+  ASSERT_EQ(Buf.numRecords(), 128u);
+
+  size_t SlotCap = Buf.deltaSlotCapacity();
+  size_t BucketCap = Buf.totalBucketCapacity();
+  ASSERT_GE(SlotCap, 64u);
+  ASSERT_GT(BucketCap, 0u);
+
+  Buf.reset(8);
+  // Logically empty...
+  EXPECT_EQ(Buf.numDeltas(), 0u);
+  EXPECT_EQ(Buf.numRecords(), 0u);
+  for (uint32_t S = 0; S < 8; ++S)
+    EXPECT_TRUE(Buf.records(S).empty());
+  // ...but no storage was released.
+  EXPECT_EQ(Buf.deltaSlotCapacity(), SlotCap);
+  EXPECT_EQ(Buf.totalBucketCapacity(), BucketCap);
+}
+
+TEST(DeltaBuffer, SteadyStateWavesAllocateNothing) {
+  // The regression the probes exist for: after the first wave grows the
+  // buffer, every identically-shaped later wave must run entirely inside
+  // retained capacity — the solver resets thousands of times per run.
+  DeltaBuffer Buf;
+  fillTypicalWave(Buf, 8, 64);
+  size_t SlotCap = Buf.deltaSlotCapacity();
+  size_t BucketCap = Buf.totalBucketCapacity();
+  for (int Wave = 0; Wave < 10; ++Wave) {
+    fillTypicalWave(Buf, 8, 64);
+    EXPECT_EQ(Buf.deltaSlotCapacity(), SlotCap) << "wave " << Wave;
+    EXPECT_EQ(Buf.totalBucketCapacity(), BucketCap) << "wave " << Wave;
+  }
+  // Delta contents are correct even though slots were recycled.
+  EXPECT_TRUE(Buf.delta(5).contains(5));
+  EXPECT_TRUE(Buf.delta(5).contains(1005));
+  EXPECT_EQ(Buf.delta(5).size(), 2u);
+}
+
+TEST(DeltaBuffer, ShrinkingShardCountLeavesNoStaleRecords) {
+  // The solver's live sub-chunk count varies per wave; a reset to fewer
+  // shards must still empty the now-out-of-range buckets (and keep their
+  // storage for when the width grows back).
+  DeltaBuffer Buf;
+  fillTypicalWave(Buf, 8, 16);
+  size_t BucketCap = Buf.totalBucketCapacity();
+  Buf.reset(2);
+  EXPECT_EQ(Buf.numTargetShards(), 2u);
+  EXPECT_EQ(Buf.numRecords(), 0u);
+  EXPECT_EQ(Buf.totalBucketCapacity(), BucketCap);
+  // Growing back re-exposes the retained buckets, still empty.
+  Buf.reset(8);
+  EXPECT_EQ(Buf.numRecords(), 0u);
+  EXPECT_EQ(Buf.totalBucketCapacity(), BucketCap);
+}
+
+TEST(DeltaBuffer, RecycledSlotsOverwriteCleanly) {
+  DeltaBuffer Buf;
+  Buf.reset(1);
+  PointsToSet Big;
+  for (uint32_t I = 0; I < 100; ++I)
+    Big.insert(I * 3);
+  Buf.addDelta(1, std::move(Big));
+
+  Buf.reset(1);
+  PointsToSet Small;
+  Small.insert(999);
+  uint32_t Slot = Buf.addDelta(2, std::move(Small));
+  EXPECT_EQ(Slot, 0u); // slot 0 recycled
+  EXPECT_EQ(Buf.numDeltas(), 1u);
+  EXPECT_EQ(Buf.deltaNode(0), 2u);
+  // The recycled slot holds exactly the new delta, nothing stale.
+  EXPECT_EQ(Buf.delta(0).size(), 1u);
+  EXPECT_TRUE(Buf.delta(0).contains(999));
+  EXPECT_FALSE(Buf.delta(0).contains(0));
+}
