@@ -11,6 +11,9 @@
 #include "core/Mahjong.h"
 #include "ir/Parser.h"
 #include "ir/PrettyPrinter.h"
+#include "net/Protocol.h"
+#include "net/SnapshotServer.h"
+#include "net/SocketTraffic.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pta/FactsExport.h"
@@ -21,7 +24,10 @@
 #include "workload/BenchmarkPrograms.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -29,6 +35,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace mahjong;
@@ -50,8 +57,13 @@ int usage(std::ostream &Err) {
          "as .mj source\n"
          "  query <file.mjsnap> <query...>   e.g. query s.mjsnap points-to "
          "Main.main/0::x (or: stats)\n"
+         "  serve <file.mjsnap> [--listen HOST:PORT] [--max-conns N]\n"
+         "                    [--max-inflight N] [--workers N] "
+         "[--swap-fifo PATH]\n"
+         "                    [--duration SECONDS] [--metrics-out FILE]\n"
          "  serve-bench <file.mjsnap> [--spec FILE] [--smoke] "
          "[--heartbeat SECONDS]\n"
+         "                    [--connect HOST:PORT] [--metrics-out FILE]\n"
          "  merge-report <file.mj>\n"
          "  dot-fpg <file.mj> <objIndex>\n"
          "  dot-dfa <file.mj> <objIndex>\n"
@@ -485,16 +497,145 @@ int cmdQuery(int Argc, const char *const *Argv, std::ostream &Out,
   return ExitOk;
 }
 
+/// Parses a non-negative integer flag value into \p Out (bounded by
+/// [\p Min, \p Max]); reports with the offending flag name on failure.
+bool parseUnsignedFlag(const char *Flag, const std::string &S,
+                       unsigned long Min, unsigned long Max,
+                       unsigned long &Out, std::ostream &Err) {
+  char *End = nullptr;
+  unsigned long N = std::strtoul(S.c_str(), &End, 10);
+  if (S.empty() || !End || *End != '\0' || N < Min || N > Max) {
+    Err << "error: flag '" << Flag << "' needs an integer in [" << Min
+        << ", " << Max << "], got '" << S << "'\n";
+    return false;
+  }
+  Out = N;
+  return true;
+}
+
+/// SIGINT/SIGTERM flag for `serve`: the handler may only touch a
+/// lock-free atomic, so the run loop polls this.
+std::atomic<bool> ServeInterrupted{false};
+
+void serveSignalHandler(int) {
+  ServeInterrupted.store(true, std::memory_order_relaxed);
+}
+
+int cmdServe(int Argc, const char *const *Argv, std::ostream &Out,
+             std::ostream &Err) {
+  if (Argc < 3)
+    return usage(Err);
+  std::string Listen = "127.0.0.1:0", MaxConnsStr, MaxInflightStr,
+              WorkersStr, SwapFifo, DurationStr, MetricsOut;
+  FlagParser Flags(Argc, Argv, 3, Err);
+  while (!Flags.done()) {
+    if (Flags.take("--listen", Listen) ||
+        Flags.take("--max-conns", MaxConnsStr) ||
+        Flags.take("--max-inflight", MaxInflightStr) ||
+        Flags.take("--workers", WorkersStr) ||
+        Flags.take("--swap-fifo", SwapFifo) ||
+        Flags.take("--duration", DurationStr) ||
+        Flags.take("--metrics-out", MetricsOut))
+      continue;
+    return Flags.malformed() ? ExitUsage : Flags.unknown();
+  }
+  net::ServerConfig Cfg;
+  std::string HpErr;
+  if (!net::parseHostPort(Listen, Cfg.Host, Cfg.Port, HpErr)) {
+    Err << "error: flag '--listen' got '" << Listen << "': " << HpErr
+        << "\n";
+    return ExitUsage;
+  }
+  unsigned long U;
+  if (!MaxConnsStr.empty()) {
+    if (!parseUnsignedFlag("--max-conns", MaxConnsStr, 1, 65536, U, Err))
+      return ExitUsage;
+    Cfg.MaxConns = static_cast<unsigned>(U);
+  }
+  if (!MaxInflightStr.empty()) {
+    if (!parseUnsignedFlag("--max-inflight", MaxInflightStr, 1, 65536, U,
+                           Err))
+      return ExitUsage;
+    Cfg.MaxInflight = static_cast<unsigned>(U);
+  }
+  if (!WorkersStr.empty()) {
+    if (!parseUnsignedFlag("--workers", WorkersStr, 0, 256, U, Err))
+      return ExitUsage;
+    Cfg.Workers = static_cast<unsigned>(U);
+  }
+  Cfg.SwapFifo = SwapFifo;
+  double Duration = 0; // 0 = run until SIGINT/SIGTERM
+  if (!DurationStr.empty()) {
+    char *End = nullptr;
+    Duration = std::strtod(DurationStr.c_str(), &End);
+    if (!End || *End != '\0' || Duration < 0) {
+      Err << "error: flag '--duration' needs a non-negative number, got '"
+          << DurationStr << "'\n";
+      return ExitUsage;
+    }
+  }
+
+  int Exit = ExitOk;
+  auto D = loadSnap(Argv[2], Err, Exit);
+  if (!D)
+    return Exit;
+  net::SnapshotRegistry Registry(std::move(D), Argv[2]);
+  net::SnapshotServer Server(Registry, Cfg);
+  std::string StartErr;
+  if (!Server.start(StartErr)) {
+    Err << "error: " << StartErr << "\n";
+    return ExitIOError;
+  }
+  Out << "listening on " << Server.host() << ":" << Server.port() << "\n"
+      << std::flush;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Duration > 0 ? Clock::now() + std::chrono::duration_cast<
+                                        Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            Duration))
+                   : Clock::time_point::max();
+  ServeInterrupted.store(false, std::memory_order_relaxed);
+  auto OldInt = std::signal(SIGINT, serveSignalHandler);
+  auto OldTerm = std::signal(SIGTERM, serveSignalHandler);
+  while (!ServeInterrupted.load(std::memory_order_relaxed) &&
+         Clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::signal(SIGINT, OldInt);
+  std::signal(SIGTERM, OldTerm);
+
+  Server.stop();
+  obs::MetricsRegistry &Reg = Server.metrics();
+  Reg.counter("net.swaps_total").set(Registry.swapCount());
+  Reg.gauge("net.retired_snapshots")
+      .set(static_cast<double>(Registry.retiredAlive()));
+  if (!MetricsOut.empty()) {
+    if (!writeTextFile(MetricsOut,
+                       wantsPrometheus(MetricsOut) ? Reg.toPrometheus()
+                                                   : Reg.toJson(),
+                       Err))
+      return ExitIOError;
+    Out << "metrics written to " << MetricsOut << "\n";
+  }
+  Out << "server drained: " << Reg.counter("net.queries_total").value()
+      << " queries, " << Reg.counter("net.accepted_total").value()
+      << " connections, " << Registry.swapCount() << " swaps\n";
+  return ExitOk;
+}
+
 int cmdServeBench(int Argc, const char *const *Argv, std::ostream &Out,
                   std::ostream &Err) {
   if (Argc < 3)
     return usage(Err);
-  std::string SpecPath, HeartbeatStr;
+  std::string SpecPath, HeartbeatStr, Connect, MetricsOut;
   bool Smoke = false;
   FlagParser Flags(Argc, Argv, 3, Err);
   while (!Flags.done()) {
     if (Flags.take("--spec", SpecPath) ||
-        Flags.take("--heartbeat", HeartbeatStr))
+        Flags.take("--heartbeat", HeartbeatStr) ||
+        Flags.take("--connect", Connect) ||
+        Flags.take("--metrics-out", MetricsOut))
       continue;
     if (Flags.takeBare("--smoke")) {
       Smoke = true;
@@ -529,9 +670,11 @@ int cmdServeBench(int Argc, const char *const *Argv, std::ostream &Out,
     }
   }
   if (Smoke) {
-    // The CI smoke contract: tiny, fast, and still concurrent.
+    // The CI smoke contract: tiny, fast, and still concurrent. Socket
+    // mode gets a larger count so QPS amortizes connect overhead into a
+    // stable number.
     W.Clients = 2;
-    W.QueriesPerClient = 250;
+    W.QueriesPerClient = Connect.empty() ? 250 : 2500;
     W.DurationSeconds = 0;
     W.Workers = 2;
   }
@@ -543,9 +686,40 @@ int cmdServeBench(int Argc, const char *const *Argv, std::ostream &Out,
   // JSON report on stdout stays machine-parseable.
   if (Heartbeat >= 0)
     W.HeartbeatSeconds = Heartbeat;
+
+  if (!Connect.empty()) {
+    // Socket mode: the snapshot argument still supplies the key pools,
+    // so the generated stream matches in-process mode byte for byte —
+    // only the transport differs.
+    net::SocketTrafficOptions SOpts;
+    std::string HpErr;
+    if (!net::parseHostPort(Connect, SOpts.Host, SOpts.Port, HpErr)) {
+      Err << "error: flag '--connect' got '" << Connect << "': " << HpErr
+          << "\n";
+      return ExitUsage;
+    }
+    net::SocketTrafficReport Rep = net::runSocketTraffic(*D, W, SOpts, &Err);
+    Out << Rep.toJson() << "\n";
+    if (!MetricsOut.empty()) {
+      if (!writeTextFile(MetricsOut, Rep.MetricsJson, Err))
+        return ExitIOError;
+    }
+    if (Rep.Queries == 0 || Rep.Failed != 0 || Rep.TransportErrors != 0) {
+      Err << "error: serve-bench answered " << Rep.Queries
+          << " queries with " << Rep.Failed << " failures and "
+          << Rep.TransportErrors << " transport errors\n";
+      return ExitAnalysisError;
+    }
+    return ExitOk;
+  }
+
   serve::QueryEngine Engine(D);
   serve::TrafficReport Rep = serve::runTraffic(Engine, W, &Err);
   Out << Rep.toJson() << "\n";
+  if (!MetricsOut.empty()) {
+    if (!writeTextFile(MetricsOut, Rep.toJson(), Err))
+      return ExitIOError;
+  }
   if (Rep.Queries == 0 || Rep.Failed != 0) {
     Err << "error: serve-bench answered " << Rep.Queries << " queries with "
         << Rep.Failed << " failures\n";
@@ -631,6 +805,8 @@ int mahjong::cli::runCli(int Argc, const char *const *Argv, std::ostream &Out,
     return cmdGen(Argc, Argv, Out, Err);
   if (std::strcmp(Cmd, "query") == 0)
     return cmdQuery(Argc, Argv, Out, Err);
+  if (std::strcmp(Cmd, "serve") == 0)
+    return cmdServe(Argc, Argv, Out, Err);
   if (std::strcmp(Cmd, "serve-bench") == 0)
     return cmdServeBench(Argc, Argv, Out, Err);
   if (std::strcmp(Cmd, "merge-report") == 0)

@@ -1,0 +1,460 @@
+//===-- net/Protocol.cpp - Wire protocol for the serving tier ----------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+using namespace mahjong;
+using namespace mahjong::net;
+
+//===----------------------------------------------------------------------===//
+// Binary framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(const unsigned char *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+uint64_t getU64(const unsigned char *P) {
+  return static_cast<uint64_t>(getU32(P)) |
+         (static_cast<uint64_t>(getU32(P + 4)) << 32);
+}
+
+} // namespace
+
+bool mahjong::net::isRequestType(uint8_t T) {
+  return T == static_cast<uint8_t>(MsgType::Query) ||
+         T == static_cast<uint8_t>(MsgType::Swap) ||
+         T == static_cast<uint8_t>(MsgType::Ping);
+}
+
+void mahjong::net::appendFrame(std::string &Out, MsgType Type,
+                               std::string_view Payload) {
+  assert(Payload.size() <= MaxFramePayload && "oversized frame payload");
+  Out.push_back(static_cast<char>(FrameMagic));
+  Out.push_back(static_cast<char>(Type));
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  Out.append(Payload);
+}
+
+DecodeStatus mahjong::net::decodeFrame(std::string_view Buf, size_t &Consumed,
+                                       Frame &F, std::string &Err) {
+  Consumed = 0;
+  if (Buf.empty())
+    return DecodeStatus::NeedMore;
+  const auto *P = reinterpret_cast<const unsigned char *>(Buf.data());
+  if (P[0] != FrameMagic) {
+    Err = "bad frame magic";
+    return DecodeStatus::Corrupt;
+  }
+  if (Buf.size() < FrameHeaderSize)
+    return DecodeStatus::NeedMore;
+  uint8_t Type = P[1];
+  // Both directions validate the type byte: a server only accepts
+  // request types, but rejecting response types here too keeps a
+  // confused peer from being mistaken for a slow one.
+  if (!isRequestType(Type) &&
+      Type != static_cast<uint8_t>(MsgType::RespOk) &&
+      Type != static_cast<uint8_t>(MsgType::RespError)) {
+    Err = "unknown frame type " + std::to_string(Type);
+    return DecodeStatus::Corrupt;
+  }
+  uint32_t Len = getU32(P + 2);
+  // The bound gates *before* any allocation: a 6-byte frame claiming a
+  // 4 GiB payload is rejected while only the fixed header is buffered.
+  if (Len > MaxFramePayload) {
+    Err = "frame payload of " + std::to_string(Len) + " bytes exceeds the " +
+          std::to_string(MaxFramePayload) + " byte bound";
+    return DecodeStatus::Corrupt;
+  }
+  if (Buf.size() < FrameHeaderSize + Len)
+    return DecodeStatus::NeedMore;
+  F.Type = static_cast<MsgType>(Type);
+  F.Payload.assign(Buf.substr(FrameHeaderSize, Len));
+  Consumed = FrameHeaderSize + Len;
+  return DecodeStatus::Ok;
+}
+
+std::string mahjong::net::encodeResponsePayload(const Response &R) {
+  std::string Out;
+  Out.reserve(12 + R.Text.size());
+  putU64(Out, R.Digest);
+  putU32(Out, R.Epoch);
+  Out.append(R.Text);
+  return Out;
+}
+
+bool mahjong::net::decodeResponsePayload(std::string_view Payload, bool Ok,
+                                         Response &R) {
+  if (Payload.size() < 12)
+    return false;
+  const auto *P = reinterpret_cast<const unsigned char *>(Payload.data());
+  R.Ok = Ok;
+  R.Digest = getU64(P);
+  R.Epoch = getU32(P + 8);
+  R.Text.assign(Payload.substr(12));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Line mode (newline-JSON fallback)
+//===----------------------------------------------------------------------===//
+
+std::string mahjong::net::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+std::string_view trimView(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+void skipWs(std::string_view S, size_t &I) {
+  while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+    ++I;
+}
+
+/// Appends code point \p CP as UTF-8.
+void appendUtf8(std::string &Out, uint32_t CP) {
+  if (CP < 0x80) {
+    Out.push_back(static_cast<char>(CP));
+  } else if (CP < 0x800) {
+    Out.push_back(static_cast<char>(0xC0 | (CP >> 6)));
+    Out.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+  } else {
+    Out.push_back(static_cast<char>(0xE0 | (CP >> 12)));
+    Out.push_back(static_cast<char>(0x80 | ((CP >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (CP & 0x3F)));
+  }
+}
+
+bool parseJsonString(std::string_view S, size_t &I, std::string &Out,
+                     std::string &Err) {
+  if (I >= S.size() || S[I] != '"') {
+    Err = "expected '\"'";
+    return false;
+  }
+  ++I;
+  Out.clear();
+  while (I < S.size()) {
+    char C = S[I++];
+    if (C == '"')
+      return true;
+    if (C != '\\') {
+      Out.push_back(C);
+      continue;
+    }
+    if (I >= S.size())
+      break;
+    char E = S[I++];
+    switch (E) {
+    case '"':
+    case '\\':
+    case '/':
+      Out.push_back(E);
+      break;
+    case 'b':
+      Out.push_back('\b');
+      break;
+    case 'f':
+      Out.push_back('\f');
+      break;
+    case 'n':
+      Out.push_back('\n');
+      break;
+    case 'r':
+      Out.push_back('\r');
+      break;
+    case 't':
+      Out.push_back('\t');
+      break;
+    case 'u': {
+      if (I + 4 > S.size()) {
+        Err = "truncated \\u escape";
+        return false;
+      }
+      uint32_t CP = 0;
+      for (int K = 0; K < 4; ++K) {
+        char H = S[I++];
+        CP <<= 4;
+        if (H >= '0' && H <= '9')
+          CP |= static_cast<uint32_t>(H - '0');
+        else if (H >= 'a' && H <= 'f')
+          CP |= static_cast<uint32_t>(H - 'a' + 10);
+        else if (H >= 'A' && H <= 'F')
+          CP |= static_cast<uint32_t>(H - 'A' + 10);
+        else {
+          Err = "malformed \\u escape";
+          return false;
+        }
+      }
+      if (CP >= 0xD800 && CP <= 0xDFFF) {
+        Err = "surrogate \\u escapes are not supported";
+        return false;
+      }
+      appendUtf8(Out, CP);
+      break;
+    }
+    default:
+      Err = std::string("unknown escape '\\") + E + "'";
+      return false;
+    }
+  }
+  Err = "unterminated string";
+  return false;
+}
+
+/// One scanned member value of a flat JSON object.
+struct JsonValue {
+  enum Kind { String, Number, Bool, Null } K = Null;
+  std::string Text; ///< decoded string / number spelling / "true"/"false"
+};
+
+/// Parses a flat JSON object (string/number/bool/null members only; no
+/// nesting — this is a debugging protocol, not a document store).
+bool parseFlatJsonObject(std::string_view S,
+                         std::vector<std::pair<std::string, JsonValue>> &Out,
+                         std::string &Err) {
+  size_t I = 0;
+  skipWs(S, I);
+  if (I >= S.size() || S[I] != '{') {
+    Err = "expected '{'";
+    return false;
+  }
+  ++I;
+  skipWs(S, I);
+  if (I < S.size() && S[I] == '}') {
+    ++I;
+  } else {
+    while (true) {
+      skipWs(S, I);
+      std::string Key;
+      if (!parseJsonString(S, I, Key, Err))
+        return false;
+      skipWs(S, I);
+      if (I >= S.size() || S[I] != ':') {
+        Err = "expected ':' after key '" + Key + "'";
+        return false;
+      }
+      ++I;
+      skipWs(S, I);
+      JsonValue V;
+      if (I >= S.size()) {
+        Err = "missing value for key '" + Key + "'";
+        return false;
+      }
+      if (S[I] == '"') {
+        V.K = JsonValue::String;
+        if (!parseJsonString(S, I, V.Text, Err))
+          return false;
+      } else if (S.compare(I, 4, "true") == 0) {
+        V.K = JsonValue::Bool;
+        V.Text = "true";
+        I += 4;
+      } else if (S.compare(I, 5, "false") == 0) {
+        V.K = JsonValue::Bool;
+        V.Text = "false";
+        I += 5;
+      } else if (S.compare(I, 4, "null") == 0) {
+        V.K = JsonValue::Null;
+        I += 4;
+      } else if (S[I] == '-' ||
+                 std::isdigit(static_cast<unsigned char>(S[I]))) {
+        V.K = JsonValue::Number;
+        size_t Start = I;
+        if (S[I] == '-')
+          ++I;
+        while (I < S.size() &&
+               (std::isdigit(static_cast<unsigned char>(S[I])) ||
+                S[I] == '.' || S[I] == 'e' || S[I] == 'E' || S[I] == '+' ||
+                S[I] == '-'))
+          ++I;
+        V.Text.assign(S.substr(Start, I - Start));
+      } else {
+        Err = "unsupported value for key '" + Key +
+              "' (strings, numbers, booleans and null only)";
+        return false;
+      }
+      Out.emplace_back(std::move(Key), std::move(V));
+      skipWs(S, I);
+      if (I < S.size() && S[I] == ',') {
+        ++I;
+        continue;
+      }
+      if (I < S.size() && S[I] == '}') {
+        ++I;
+        break;
+      }
+      Err = "expected ',' or '}'";
+      return false;
+    }
+  }
+  skipWs(S, I);
+  if (I != S.size()) {
+    Err = "trailing bytes after the JSON object";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool mahjong::net::parseLineRequest(std::string_view Line,
+                                    std::string &QueryText,
+                                    std::string &Err) {
+  std::string_view L = trimView(Line);
+  if (L.empty()) {
+    Err = "empty request line";
+    return false;
+  }
+  if (L.front() != '{') {
+    QueryText.assign(L);
+    return true;
+  }
+  std::vector<std::pair<std::string, JsonValue>> Members;
+  if (!parseFlatJsonObject(L, Members, Err)) {
+    Err = "malformed JSON request: " + Err;
+    return false;
+  }
+  for (const auto &[Key, V] : Members) {
+    if (Key != "q" && Key != "query")
+      continue;
+    if (V.K != JsonValue::String) {
+      Err = "JSON request member '" + Key + "' must be a string";
+      return false;
+    }
+    QueryText = V.Text;
+    return true;
+  }
+  Err = "JSON request carries no \"q\" member";
+  return false;
+}
+
+std::string mahjong::net::renderLineResponse(const Response &R) {
+  char Digest[24];
+  std::snprintf(Digest, sizeof(Digest), "%016llx",
+                static_cast<unsigned long long>(R.Digest));
+  std::string Out = R.Ok ? "{\"ok\": true" : "{\"ok\": false";
+  Out += ", \"epoch\": " + std::to_string(R.Epoch);
+  Out += ", \"digest\": \"";
+  Out += Digest;
+  Out += R.Ok ? "\", \"result\": \"" : "\", \"error\": \"";
+  Out += jsonEscape(R.Text);
+  Out += "\"}";
+  return Out;
+}
+
+bool mahjong::net::parseLineResponse(std::string_view Line, Response &R,
+                                     std::string &Err) {
+  std::vector<std::pair<std::string, JsonValue>> Members;
+  if (!parseFlatJsonObject(trimView(Line), Members, Err))
+    return false;
+  bool HaveOk = false, HaveText = false;
+  R = Response();
+  for (const auto &[Key, V] : Members) {
+    if (Key == "ok" && V.K == JsonValue::Bool) {
+      R.Ok = V.Text == "true";
+      HaveOk = true;
+    } else if (Key == "epoch" && V.K == JsonValue::Number) {
+      R.Epoch = static_cast<uint32_t>(std::strtoul(V.Text.c_str(), nullptr, 10));
+    } else if (Key == "digest" && V.K == JsonValue::String) {
+      R.Digest = std::strtoull(V.Text.c_str(), nullptr, 16);
+    } else if ((Key == "result" || Key == "error") &&
+               V.K == JsonValue::String) {
+      R.Text = V.Text;
+      HaveText = true;
+    }
+  }
+  if (!HaveOk || !HaveText) {
+    Err = "response line lacks \"ok\" or \"result\"/\"error\"";
+    return false;
+  }
+  return true;
+}
+
+bool mahjong::net::parseHostPort(std::string_view Spec, std::string &Host,
+                                 uint16_t &Port, std::string &Err) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string_view::npos) {
+    Err = "expected host:port, got '" + std::string(Spec) + "'";
+    return false;
+  }
+  std::string_view HostPart = Spec.substr(0, Colon);
+  std::string_view PortPart = Spec.substr(Colon + 1);
+  if (PortPart.empty()) {
+    Err = "missing port in '" + std::string(Spec) + "'";
+    return false;
+  }
+  uint64_t P = 0;
+  for (char C : PortPart) {
+    if (!std::isdigit(static_cast<unsigned char>(C))) {
+      Err = "malformed port '" + std::string(PortPart) + "'";
+      return false;
+    }
+    P = P * 10 + static_cast<uint64_t>(C - '0');
+    if (P > 65535) {
+      Err = "port '" + std::string(PortPart) + "' out of range";
+      return false;
+    }
+  }
+  Host = HostPart.empty() ? std::string("127.0.0.1") : std::string(HostPart);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}

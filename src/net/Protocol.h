@@ -1,0 +1,141 @@
+//===-- net/Protocol.h - Wire protocol for the serving tier ---*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol spoken between net::SnapshotServer and net::Client:
+/// a small length-prefixed binary framing plus a newline-JSON fallback a
+/// human can drive with `nc`. Both sides share this one header so the
+/// encoder and decoder can never drift apart.
+///
+/// Binary framing (all integers little-endian):
+///
+///   magic    u8   0xAB — also the mode sentinel: a connection whose
+///                 first byte is not 0xAB is served in line mode
+///   type     u8   MsgType
+///   length   u32  payload byte count, bounded by MaxFramePayload
+///                 *before* any allocation (a hostile length cannot
+///                 trigger bad_alloc, mirroring the .mjsnap readCount
+///                 hardening)
+///   payload  length bytes
+///
+/// Request payloads are UTF-8 text: the query grammar for MsgType::Query
+/// (docs/serving.md), a filesystem path for MsgType::Swap, empty for
+/// MsgType::Ping. Response payloads carry the answering snapshot first:
+///
+///   digest   u64  snapshot content digest (serve::snapshotDigest)
+///   epoch    u32  registry epoch that answered
+///   text     rest — rendered answer, or the error message
+///
+/// so a client can always tell *which* published snapshot answered — the
+/// invariant the hot-swap tests assert query by query.
+///
+/// Line mode: one request per '\n'-terminated line, either raw query
+/// text or a JSON object {"q": "..."} ({"query": ...} also accepted);
+/// every answer is one JSON line {"ok": ..., "epoch": ..., "digest":
+/// "...", "result"|"error": "..."}. Malformed JSON gets an error line;
+/// only framing-level violations (an overlong line) end the connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_NET_PROTOCOL_H
+#define MAHJONG_NET_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mahjong::net {
+
+/// First byte of every binary frame; doubles as the connection-mode
+/// sentinel (no JSON document and no query verb starts with 0xAB).
+inline constexpr uint8_t FrameMagic = 0xAB;
+
+/// Frame header bytes: magic, type, u32 payload length.
+inline constexpr size_t FrameHeaderSize = 6;
+
+/// Hard payload bound, checked before any buffer is grown.
+inline constexpr uint32_t MaxFramePayload = 1u << 20;
+
+/// Line-mode requests obey the same bound (including the newline).
+inline constexpr size_t MaxLineLength = MaxFramePayload;
+
+enum class MsgType : uint8_t {
+  Query = 0x01, ///< payload: query text (docs/serving.md grammar)
+  Swap = 0x02,  ///< payload: .mjsnap path to decode, validate and publish
+  Ping = 0x03,  ///< payload: empty; answered with an empty Ok
+  RespOk = 0x81,
+  RespError = 0x82,
+};
+
+/// True for the request types a client may send.
+bool isRequestType(uint8_t T);
+
+/// One decoded frame.
+struct Frame {
+  MsgType Type = MsgType::Query;
+  std::string Payload;
+};
+
+/// What decodeFrame saw at the front of a buffer.
+enum class DecodeStatus {
+  NeedMore, ///< incomplete header or payload; read more bytes
+  Ok,       ///< one frame decoded, \p Consumed bytes eaten
+  Corrupt,  ///< bad magic, unknown type, or oversized length
+};
+
+/// Appends one encoded frame to \p Out. \p Payload must respect
+/// MaxFramePayload (asserted).
+void appendFrame(std::string &Out, MsgType Type, std::string_view Payload);
+
+/// Decodes the frame at the front of \p Buf. On Ok, \p Consumed is the
+/// total frame size and \p F the decoded frame; on Corrupt, \p Err names
+/// the violation and the connection should be failed.
+DecodeStatus decodeFrame(std::string_view Buf, size_t &Consumed, Frame &F,
+                         std::string &Err);
+
+/// One response as both sides see it: which snapshot answered, and the
+/// rendered answer or error text.
+struct Response {
+  bool Ok = false;
+  uint64_t Digest = 0;
+  uint32_t Epoch = 0;
+  std::string Text;
+};
+
+/// Encodes the response payload (digest, epoch, text) for a RespOk /
+/// RespError frame.
+std::string encodeResponsePayload(const Response &R);
+
+/// Decodes a RespOk / RespError payload. \p Ok comes from the frame
+/// type. \returns false on a truncated payload.
+bool decodeResponsePayload(std::string_view Payload, bool Ok, Response &R);
+
+/// Escapes \p S for inclusion inside a JSON string literal.
+std::string jsonEscape(std::string_view S);
+
+/// Parses one line-mode request: raw query text, or a JSON object whose
+/// "q" (or "query") member is the query text. \returns false with a
+/// diagnostic in \p Err on malformed JSON or a missing member.
+bool parseLineRequest(std::string_view Line, std::string &QueryText,
+                      std::string &Err);
+
+/// Renders \p R as one line-mode JSON response (no trailing newline).
+std::string renderLineResponse(const Response &R);
+
+/// Parses a line-mode JSON response (the client-side inverse of
+/// renderLineResponse). \returns false on malformed input.
+bool parseLineResponse(std::string_view Line, Response &R, std::string &Err);
+
+/// Splits "host:port". \returns false with a diagnostic when the port is
+/// missing, not a number, or out of range; an empty host means
+/// "127.0.0.1".
+bool parseHostPort(std::string_view Spec, std::string &Host, uint16_t &Port,
+                   std::string &Err);
+
+} // namespace mahjong::net
+
+#endif // MAHJONG_NET_PROTOCOL_H

@@ -1,0 +1,70 @@
+//===-- net/SnapshotRegistry.cpp - RCU-style snapshot publishing -------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/SnapshotRegistry.h"
+
+#include "obs/Trace.h"
+
+#include <utility>
+
+using namespace mahjong;
+using namespace mahjong::net;
+
+ServingSnapshot::ServingSnapshot(
+    uint32_t Epoch, std::shared_ptr<const serve::SnapshotData> Data,
+    std::string Source, size_t CacheCapacity)
+    : Epoch(Epoch), Digest(serve::snapshotDigest(*Data)),
+      Source(std::move(Source)), Engine(std::move(Data), CacheCapacity) {}
+
+SnapshotRegistry::SnapshotRegistry(
+    std::shared_ptr<const serve::SnapshotData> Initial, std::string Source,
+    size_t CacheCapacity)
+    : CacheCapacity(CacheCapacity),
+      Current(std::make_shared<const ServingSnapshot>(
+          /*Epoch=*/1, std::move(Initial), std::move(Source),
+          CacheCapacity)) {}
+
+bool SnapshotRegistry::swapFromFile(const std::string &Path,
+                                    std::string &Err) {
+  obs::ScopedSpan Span("snapshot-swap");
+  std::shared_ptr<const serve::SnapshotData> Data =
+      serve::loadSnapshot(Path, Err);
+  if (!Data)
+    return false;
+  publish(std::move(Data), Path);
+  return true;
+}
+
+uint32_t SnapshotRegistry::publish(
+    std::shared_ptr<const serve::SnapshotData> Data, std::string Source) {
+  // Engine construction (key maps, call-graph indexes) happens outside
+  // the exchange too: the lock below serializes concurrent publishers,
+  // while readers only ever see fully built epochs.
+  std::lock_guard<std::mutex> Lock(PublishMutex);
+  uint32_t Epoch = NextEpoch++;
+  auto Next = std::make_shared<const ServingSnapshot>(
+      Epoch, std::move(Data), std::move(Source), CacheCapacity);
+  std::shared_ptr<const ServingSnapshot> Old =
+      Current.exchange(std::move(Next), std::memory_order_acq_rel);
+  Retired.push_back(Old);
+  Swaps.fetch_add(1, std::memory_order_relaxed);
+  return Epoch;
+}
+
+size_t SnapshotRegistry::retiredAlive() const {
+  std::lock_guard<std::mutex> Lock(PublishMutex);
+  size_t Alive = 0;
+  for (size_t I = 0; I < Retired.size();) {
+    if (Retired[I].expired()) {
+      Retired[I] = std::move(Retired.back());
+      Retired.pop_back();
+    } else {
+      ++Alive;
+      ++I;
+    }
+  }
+  return Alive;
+}

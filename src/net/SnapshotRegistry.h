@@ -1,0 +1,123 @@
+//===-- net/SnapshotRegistry.h - RCU-style snapshot publishing *- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hot-swap core of the serving tier: a registry holding the one
+/// *current* serving snapshot and publishing replacements with a single
+/// atomic exchange while readers keep answering — RCU in shared_ptr
+/// clothing.
+///
+/// The epoch-pinning invariant:
+///
+///  - A reader calls pin() — one atomic shared_ptr load — and holds the
+///    returned handle for exactly one query. Everything the query needs
+///    (the decoded SnapshotData, the per-epoch QueryEngine and its
+///    cache, the precomputed digest) hangs off that handle, so the
+///    answer is consistent with exactly one published snapshot even
+///    while a swap lands mid-query.
+///  - swapFromFile() does all expensive work off the publish path: read
+///    the .mjsnap bytes, decode + validate them, digest the content and
+///    build a fresh QueryEngine; only then does one atomic exchange make
+///    the new epoch current. Failures leave the current epoch untouched.
+///  - The displaced snapshot is *retired, not freed*: pinned readers
+///    keep it alive until the last handle drops, when shared_ptr
+///    reclaims it. retiredAlive() counts retired epochs still breathing
+///    — the hot-swap tests assert it returns to zero after drain.
+///
+/// Every epoch gets its *own* QueryEngine, and therefore its own query
+/// cache: a cache entry can never outlive the snapshot it was computed
+/// from, so a swap can never serve stale answers (the cache is scoped by
+/// epoch, not invalidated across one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_NET_SNAPSHOTREGISTRY_H
+#define MAHJONG_NET_SNAPSHOTREGISTRY_H
+
+#include "serve/QueryEngine.h"
+#include "serve/Snapshot.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mahjong::net {
+
+/// One published snapshot: the immutable data, its content digest, and
+/// the epoch-scoped query engine (with the epoch's private cache).
+class ServingSnapshot {
+public:
+  ServingSnapshot(uint32_t Epoch,
+                  std::shared_ptr<const serve::SnapshotData> Data,
+                  std::string Source, size_t CacheCapacity);
+
+  uint32_t epoch() const { return Epoch; }
+  uint64_t digest() const { return Digest; }
+  const std::string &source() const { return Source; }
+  const serve::QueryEngine &engine() const { return Engine; }
+  const serve::SnapshotData &data() const { return Engine.data(); }
+
+private:
+  uint32_t Epoch;
+  uint64_t Digest;
+  std::string Source; ///< file path or "<memory>", for stats/logs
+  serve::QueryEngine Engine;
+};
+
+/// Publishes snapshots; readers pin the current one per query.
+class SnapshotRegistry {
+public:
+  /// Seeds epoch 1. \p Source labels where the snapshot came from.
+  SnapshotRegistry(std::shared_ptr<const serve::SnapshotData> Initial,
+                   std::string Source, size_t CacheCapacity = 1 << 14);
+
+  SnapshotRegistry(const SnapshotRegistry &) = delete;
+  SnapshotRegistry &operator=(const SnapshotRegistry &) = delete;
+
+  /// One atomic load; the handle keeps that epoch alive until released.
+  std::shared_ptr<const ServingSnapshot> pin() const {
+    return Current.load(std::memory_order_acquire);
+  }
+
+  /// Loads, decodes and validates \p Path (expensive — call off the
+  /// serving thread), then publishes it with one atomic exchange.
+  /// \returns false with a diagnostic in \p Err; the current epoch is
+  /// untouched on failure.
+  bool swapFromFile(const std::string &Path, std::string &Err);
+
+  /// Publishes an already-decoded snapshot. \returns the new epoch.
+  uint32_t publish(std::shared_ptr<const serve::SnapshotData> Data,
+                   std::string Source);
+
+  /// Retired epochs still alive because a reader pins them. Prunes the
+  /// dead before counting.
+  size_t retiredAlive() const;
+
+  /// Successful publishes after the seed (i.e. completed swaps).
+  uint64_t swapCount() const {
+    return Swaps.load(std::memory_order_relaxed);
+  }
+
+private:
+  size_t CacheCapacity;
+  std::atomic<std::shared_ptr<const ServingSnapshot>> Current;
+
+  /// Serializes publishers (swaps are rare; readers never touch this).
+  mutable std::mutex PublishMutex;
+  uint32_t NextEpoch = 2; ///< guarded by PublishMutex
+  /// Every displaced epoch, weakly: liveness here means a reader still
+  /// pins it. Pruned on retiredAlive().
+  mutable std::vector<std::weak_ptr<const ServingSnapshot>> Retired;
+
+  std::atomic<uint64_t> Swaps{0};
+};
+
+} // namespace mahjong::net
+
+#endif // MAHJONG_NET_SNAPSHOTREGISTRY_H

@@ -1,0 +1,688 @@
+//===-- net/SnapshotServer.cpp - Socket serving tier -------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/SnapshotServer.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+using namespace mahjong;
+using namespace mahjong::net;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string_view trimText(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
+SnapshotServer::SnapshotServer(SnapshotRegistry &Registry,
+                               ServerConfig Config)
+    : Registry(Registry), Config(std::move(Config)) {}
+
+SnapshotServer::~SnapshotServer() { stop(); }
+
+bool SnapshotServer::start(std::string &Err) {
+  if (LoopThread.joinable()) {
+    Err = "server already running";
+    return false;
+  }
+  Stopping.store(false, std::memory_order_relaxed);
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (inet_pton(AF_INET, Config.Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "cannot parse listen address '" + Config.Host + "'";
+    return false;
+  }
+  ListenFd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  auto Fail = [&](const char *What) {
+    Err = std::string(What) + ": " + std::strerror(errno);
+    close(ListenFd);
+    ListenFd = -1;
+    return false;
+  };
+  if (bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return Fail("bind");
+  if (listen(ListenFd, SOMAXCONN) != 0)
+    return Fail("listen");
+  sockaddr_in Bound{};
+  socklen_t BoundLen = sizeof(Bound);
+  if (getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                  &BoundLen) != 0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Bound.sin_port);
+  setNonBlocking(ListenFd);
+
+  int Pipe[2];
+  if (pipe2(Pipe, O_NONBLOCK | O_CLOEXEC) != 0)
+    return Fail("pipe2");
+  WakeRd = Pipe[0];
+  WakeWr = Pipe[1];
+
+  if (!Config.SwapFifo.empty()) {
+    // O_RDWR keeps the FIFO open-able with no writer attached and spares
+    // the loop from the read-side EOF churn between writers.
+    FifoFd = open(Config.SwapFifo.c_str(), O_RDWR | O_NONBLOCK | O_CLOEXEC);
+    if (FifoFd < 0) {
+      Err = "cannot open swap fifo '" + Config.SwapFifo +
+            "': " + std::strerror(errno);
+      close(ListenFd);
+      close(WakeRd);
+      close(WakeWr);
+      ListenFd = WakeRd = WakeWr = -1;
+      return false;
+    }
+  }
+
+  // Pre-register every series so the exposition shows them at zero from
+  // the first scrape (Prometheus best practice: existence > absence).
+  for (const char *Name :
+       {"net.accepted_total", "net.closed_total", "net.frames_total",
+        "net.lines_total", "net.queries_total", "net.query_errors_total",
+        "net.protocol_errors_total", "net.slow_reader_disconnects_total",
+        "net.swaps_total", "net.swap_failures_total",
+        "net.bytes_read_total", "net.bytes_written_total"})
+    Metrics.counter(Name);
+  Metrics.gauge("net.active_conns");
+  Metrics.gauge("net.retired_snapshots");
+  Metrics.gauge("net.current_epoch")
+      .set(static_cast<double>(Registry.pin()->epoch()));
+  Metrics.histogram("net.request_ns");
+
+  if (Config.Workers > 0)
+    Pool = std::make_unique<ThreadPool>(Config.Workers);
+  SwapStop = false;
+  SwapThread = std::thread([this] { swapLoop(); });
+  LoopThread = std::thread([this] { loop(); });
+  return true;
+}
+
+void SnapshotServer::stop() {
+  if (!LoopThread.joinable())
+    return;
+  Stopping.store(true, std::memory_order_release);
+  wake();
+  LoopThread.join();
+  // The loop is gone; finish any in-pool work, then retire the admin
+  // thread (it completes a mid-flight swap before exiting).
+  Pool.reset();
+  {
+    std::lock_guard<std::mutex> Lock(SwapMu);
+    SwapStop = true;
+  }
+  SwapCv.notify_all();
+  SwapThread.join();
+  for (int *Fd : {&ListenFd, &WakeRd, &WakeWr, &FifoFd}) {
+    if (*Fd >= 0)
+      close(*Fd);
+    *Fd = -1;
+  }
+  Conns.clear();
+  Metrics.gauge("net.active_conns").set(0);
+}
+
+void SnapshotServer::wake() {
+  char B = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] ssize_t N = write(WakeWr, &B, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Event loop
+//===----------------------------------------------------------------------===//
+
+void SnapshotServer::loop() {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point DrainDeadline = Clock::time_point::max();
+  bool ListenClosed = false;
+
+  std::vector<pollfd> Fds;
+  std::vector<std::shared_ptr<Conn>> Polled;
+
+  while (true) {
+    bool Stop = Stopping.load(std::memory_order_acquire);
+    if (Stop && !ListenClosed) {
+      // Stop accepting first; the deadline bounds the rest of the drain.
+      close(ListenFd);
+      ListenFd = -1;
+      ListenClosed = true;
+      DrainDeadline = Clock::now() + std::chrono::duration_cast<
+                                         Clock::duration>(
+                                         std::chrono::duration<double>(
+                                             Config.DrainSeconds));
+    }
+
+    // Maintenance pass: close the dead, resume paused parsing, pump
+    // queues, and decide each connection's poll interest.
+    Fds.clear();
+    Polled.clear();
+    size_t ListenSlot = SIZE_MAX, WakeSlot, FifoSlot = SIZE_MAX;
+    if (ListenFd >= 0 && Conns.size() < Config.MaxConns) {
+      ListenSlot = Fds.size();
+      Fds.push_back({ListenFd, POLLIN, 0});
+    }
+    WakeSlot = Fds.size();
+    Fds.push_back({WakeRd, POLLIN, 0});
+    if (FifoFd >= 0 && !Stop) {
+      FifoSlot = Fds.size();
+      Fds.push_back({FifoFd, POLLIN, 0});
+    }
+
+    const size_t FirstConnSlot = Fds.size();
+    bool AllIdle = true;
+    std::vector<uint64_t> ToClose;
+    for (auto &[Id, C] : Conns) {
+      bool Dead, Draining, Busy, QueueRoom, HasOut;
+      {
+        std::lock_guard<std::mutex> Lock(C->Mu);
+        Dead = C->Dead;
+        Draining = C->Draining;
+        Busy = C->Running || C->AwaitingSwap || !C->Queue.empty();
+        QueueRoom = C->Queue.size() < Config.MaxInflight;
+        HasOut = !C->Outbox.empty();
+      }
+      if (Dead || (Draining && !Busy && !HasOut)) {
+        ToClose.push_back(Id);
+        continue;
+      }
+      // Bytes may be parked in RdBuf from a pass when the queue was
+      // full; parse them now that there is room again.
+      if (QueueRoom && !Draining && !C->RdBuf.empty()) {
+        parseBuffered(C);
+        std::lock_guard<std::mutex> Lock(C->Mu);
+        QueueRoom = C->Queue.size() < Config.MaxInflight;
+        Busy = C->Running || C->AwaitingSwap || !C->Queue.empty();
+      }
+      pump(C);
+      {
+        std::lock_guard<std::mutex> Lock(C->Mu);
+        Busy = C->Running || C->AwaitingSwap || !C->Queue.empty();
+        HasOut = !C->Outbox.empty();
+      }
+      if (Busy || HasOut)
+        AllIdle = false;
+      short Events = 0;
+      if (!Draining && !Stop && QueueRoom)
+        Events |= POLLIN;
+      if (HasOut)
+        Events |= POLLOUT;
+      // Poll even with no interest bits: POLLERR/POLLHUP still arrive.
+      Polled.push_back(C);
+      Fds.push_back({C->Fd, Events, 0});
+    }
+    for (uint64_t Id : ToClose)
+      closeConn(Id);
+
+    if (Stop) {
+      bool SwapsPending;
+      {
+        std::lock_guard<std::mutex> Lock(SwapMu);
+        SwapsPending = !SwapTasks.empty();
+      }
+      if ((AllIdle && !SwapsPending && ToClose.empty()) ||
+          Clock::now() >= DrainDeadline) {
+        for (auto &[Id, C] : Conns)
+          close(C->Fd);
+        Conns.clear();
+        Metrics.gauge("net.active_conns").set(0);
+        return;
+      }
+    }
+
+    int Timeout = Stop ? 20 : 500;
+    int N = poll(Fds.data(), Fds.size(), Timeout);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // unrecoverable poll failure; stop serving
+    }
+
+    if (Fds[WakeSlot].revents & POLLIN) {
+      char Buf[256];
+      while (read(WakeRd, Buf, sizeof(Buf)) > 0)
+        ;
+    }
+    if (ListenSlot != SIZE_MAX && (Fds[ListenSlot].revents & POLLIN))
+      acceptReady();
+    if (FifoSlot != SIZE_MAX && (Fds[FifoSlot].revents & POLLIN))
+      fifoReadable();
+
+    for (size_t I = 0; I < Polled.size(); ++I) {
+      const pollfd &P = Fds[FirstConnSlot + I];
+      const std::shared_ptr<Conn> &C = Polled[I];
+      if (P.revents & (POLLERR | POLLNVAL)) {
+        std::lock_guard<std::mutex> Lock(C->Mu);
+        C->Dead = true;
+        continue;
+      }
+      if (P.revents & POLLIN)
+        readable(C);
+      else if (P.revents & POLLHUP) {
+        // HUP with nothing left to read: peer is gone for good.
+        std::lock_guard<std::mutex> Lock(C->Mu);
+        C->Dead = true;
+        continue;
+      }
+      // Opportunistic flush in the same pass keeps the common
+      // request/response round trip inside one poll iteration.
+      bool HasOut;
+      {
+        std::lock_guard<std::mutex> Lock(C->Mu);
+        HasOut = !C->Outbox.empty() && !C->Dead;
+      }
+      if ((P.revents & POLLOUT) || HasOut)
+        writable(C);
+    }
+  }
+}
+
+void SnapshotServer::acceptReady() {
+  while (Conns.size() < Config.MaxConns) {
+    int Fd = accept4(ListenFd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return; // EAGAIN or a transient error; poll again
+    int One = 1;
+    setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    C->Id = NextConnId++;
+    Conns.emplace(C->Id, std::move(C));
+    Metrics.counter("net.accepted_total").inc();
+    Metrics.gauge("net.active_conns").set(Conns.size());
+  }
+}
+
+void SnapshotServer::closeConn(uint64_t Id) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  close(It->second->Fd);
+  Conns.erase(It);
+  Metrics.counter("net.closed_total").inc();
+  Metrics.gauge("net.active_conns").set(Conns.size());
+}
+
+void SnapshotServer::readable(const std::shared_ptr<Conn> &C) {
+  {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    if (C->Draining || C->Dead)
+      return;
+  }
+  char Buf[64 * 1024];
+  bool PeerClosed = false;
+  while (C->RdBuf.size() < MaxFramePayload + FrameHeaderSize) {
+    ssize_t N = recv(C->Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C->RdBuf.append(Buf, static_cast<size_t>(N));
+      Metrics.counter("net.bytes_read_total").inc(static_cast<uint64_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      PeerClosed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      break;
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    C->Dead = true;
+    return;
+  }
+  parseBuffered(C);
+  if (PeerClosed) {
+    // Half-close handshake: the peer is done sending, but everything it
+    // pipelined still gets answered before we close our side.
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    C->Draining = true;
+  }
+  pump(C);
+}
+
+void SnapshotServer::parseBuffered(const std::shared_ptr<Conn> &C) {
+  if (C->RdBuf.empty())
+    return;
+  if (C->Mode == Conn::IoMode::Unknown)
+    C->Mode = static_cast<unsigned char>(C->RdBuf[0]) == FrameMagic
+                  ? Conn::IoMode::Binary
+                  : Conn::IoMode::Line;
+
+  uint64_t Start = nowNs();
+  size_t Pos = 0;
+  auto QueueFull = [&] {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    return C->Queue.size() >= Config.MaxInflight;
+  };
+  auto Enqueue = [&](MsgType T, std::string Text) {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    C->Queue.push_back(PendingReq{T, std::move(Text), Start});
+  };
+
+  if (C->Mode == Conn::IoMode::Binary) {
+    while (!QueueFull()) {
+      Frame F;
+      size_t Consumed = 0;
+      std::string Err;
+      DecodeStatus S = decodeFrame(
+          std::string_view(C->RdBuf).substr(Pos), Consumed, F, Err);
+      if (S == DecodeStatus::NeedMore)
+        break;
+      if (S == DecodeStatus::Corrupt) {
+        C->RdBuf.clear();
+        failProtocol(C, Err);
+        return;
+      }
+      Pos += Consumed;
+      Metrics.counter("net.frames_total").inc();
+      if (!isRequestType(static_cast<uint8_t>(F.Type))) {
+        C->RdBuf.clear();
+        failProtocol(C, "response frame type from a client");
+        return;
+      }
+      Enqueue(F.Type, std::move(F.Payload));
+    }
+  } else {
+    while (!QueueFull()) {
+      size_t Nl = C->RdBuf.find('\n', Pos);
+      if (Nl == std::string::npos) {
+        if (C->RdBuf.size() - Pos > MaxLineLength) {
+          C->RdBuf.clear();
+          failProtocol(C, "request line exceeds the length bound");
+          return;
+        }
+        break;
+      }
+      std::string_view Line(C->RdBuf.data() + Pos, Nl - Pos);
+      Pos = Nl + 1;
+      Metrics.counter("net.lines_total").inc();
+      if (trimText(Line).empty())
+        continue;
+      std::string Text, Err;
+      if (!parseLineRequest(Line, Text, Err)) {
+        // Garbage JSON gets an error *line*, not a disconnect — this is
+        // the debugging surface, and a typo should not cost the session.
+        Metrics.counter("net.protocol_errors_total").inc();
+        Response R;
+        R.Text = Err;
+        respond(C, R);
+        continue;
+      }
+      std::string_view T = trimText(Text);
+      if (T.rfind("swap ", 0) == 0)
+        Enqueue(MsgType::Swap, std::string(trimText(T.substr(5))));
+      else
+        Enqueue(MsgType::Query, std::move(Text));
+    }
+  }
+  C->RdBuf.erase(0, Pos);
+}
+
+//===----------------------------------------------------------------------===//
+// Request execution
+//===----------------------------------------------------------------------===//
+
+void SnapshotServer::pump(const std::shared_ptr<Conn> &C) {
+  {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    if (C->Running || C->AwaitingSwap || C->Queue.empty() || C->Dead)
+      return;
+    if (C->Queue.front().Type == MsgType::Swap) {
+      // Swaps always decode on the admin thread; the queue stays paused
+      // so this connection's responses keep arriving in request order.
+      PendingReq Req = std::move(C->Queue.front());
+      C->Queue.pop_front();
+      C->AwaitingSwap = true;
+      std::lock_guard<std::mutex> SLock(SwapMu);
+      SwapTasks.push_back(SwapTask{std::move(Req.Text), C});
+      SwapCv.notify_one();
+      return;
+    }
+    if (Pool)
+      C->Running = true;
+  }
+  if (Pool) {
+    std::shared_ptr<Conn> Keep = C;
+    Pool->enqueue([this, Keep] { drainQueue(Keep); });
+  } else {
+    drainQueue(C);
+  }
+}
+
+void SnapshotServer::drainQueue(const std::shared_ptr<Conn> &C) {
+  while (true) {
+    PendingReq Req;
+    {
+      std::lock_guard<std::mutex> Lock(C->Mu);
+      if (C->Queue.empty() || C->Dead) {
+        C->Running = false;
+        break;
+      }
+      if (C->Queue.front().Type == MsgType::Swap) {
+        // Hand the rest of the queue back to pump(): the swap must go
+        // through the admin thread, and the queue pauses behind it.
+        C->Running = false;
+        break;
+      }
+      Req = std::move(C->Queue.front());
+      C->Queue.pop_front();
+    }
+    Response R = execute(Req);
+    Metrics.histogram("net.request_ns").record(nowNs() - Req.StartNs);
+    respond(C, R);
+  }
+  if (Pool)
+    wake(); // flush our responses; pump() reruns from the loop pass
+}
+
+Response SnapshotServer::execute(const PendingReq &Req) {
+  std::shared_ptr<const ServingSnapshot> Snap = Registry.pin();
+  Response R;
+  R.Digest = Snap->digest();
+  R.Epoch = Snap->epoch();
+  if (Req.Type == MsgType::Ping) {
+    R.Ok = true;
+    return R;
+  }
+  Metrics.counter("net.queries_total").inc();
+  std::string_view Text = trimText(Req.Text);
+  if (Text == "stats") {
+    // The server answers `stats` itself so the exposition covers both
+    // the pinned engine's counters and the net.* tier.
+    serve::QueryResult QR = Snap->engine().run(Text);
+    R.Ok = QR.Ok;
+    for (const std::string &Line : QR.Items) {
+      R.Text += Line;
+      R.Text += '\n';
+    }
+    R.Text += statsText();
+    return R;
+  }
+  serve::QueryResult QR = Snap->engine().run(Text);
+  R.Ok = QR.Ok;
+  if (QR.Ok) {
+    R.Text = QR.toString();
+  } else {
+    R.Text = QR.Error;
+    Metrics.counter("net.query_errors_total").inc();
+  }
+  return R;
+}
+
+std::string SnapshotServer::statsText() const {
+  Metrics.counter("net.swaps_total")
+      .set(Registry.swapCount());
+  Metrics.gauge("net.retired_snapshots").set(
+      static_cast<double>(Registry.retiredAlive()));
+  Metrics.gauge("net.current_epoch")
+      .set(static_cast<double>(Registry.pin()->epoch()));
+  return Metrics.toPrometheus();
+}
+
+void SnapshotServer::respond(const std::shared_ptr<Conn> &C,
+                             const Response &R) {
+  std::string Bytes;
+  if (C->Mode == Conn::IoMode::Binary) {
+    appendFrame(Bytes, R.Ok ? MsgType::RespOk : MsgType::RespError,
+                encodeResponsePayload(R));
+  } else {
+    Bytes = renderLineResponse(R);
+    Bytes += '\n';
+  }
+  bool Slow = false;
+  {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    if (C->Dead)
+      return;
+    C->Outbox += Bytes;
+    if (C->Outbox.size() > Config.MaxOutboxBytes) {
+      // A reader this slow would grow server memory without bound; the
+      // contract is a clean disconnect, not a swelling buffer.
+      C->Dead = true;
+      Slow = true;
+    }
+  }
+  if (Slow)
+    Metrics.counter("net.slow_reader_disconnects_total").inc();
+}
+
+void SnapshotServer::failProtocol(const std::shared_ptr<Conn> &C,
+                                  const std::string &Why) {
+  Metrics.counter("net.protocol_errors_total").inc();
+  Response R;
+  R.Text = Why;
+  respond(C, R);
+  std::lock_guard<std::mutex> Lock(C->Mu);
+  C->Draining = true; // flush the error, then close
+}
+
+void SnapshotServer::writable(const std::shared_ptr<Conn> &C) {
+  std::string Local;
+  {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    if (C->Dead || C->Outbox.empty())
+      return;
+    Local = std::move(C->Outbox);
+    C->Outbox.clear();
+  }
+  size_t Sent = 0;
+  while (Sent < Local.size()) {
+    ssize_t N = send(C->Fd, Local.data() + Sent, Local.size() - Sent,
+                     MSG_NOSIGNAL);
+    if (N > 0) {
+      Sent += static_cast<size_t>(N);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      break;
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    C->Dead = true;
+    return;
+  }
+  Metrics.counter("net.bytes_written_total").inc(Sent);
+  if (Sent < Local.size()) {
+    std::lock_guard<std::mutex> Lock(C->Mu);
+    // Workers may have appended while we were sending; keep order.
+    C->Outbox.insert(0, Local, Sent, std::string::npos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Admin: swap fifo and the swap thread
+//===----------------------------------------------------------------------===//
+
+void SnapshotServer::fifoReadable() {
+  char Buf[4096];
+  while (true) {
+    ssize_t N = read(FifoFd, Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    FifoBuf.append(Buf, static_cast<size_t>(N));
+  }
+  size_t Pos = 0;
+  while (true) {
+    size_t Nl = FifoBuf.find('\n', Pos);
+    if (Nl == std::string::npos)
+      break;
+    std::string Path(trimText(
+        std::string_view(FifoBuf.data() + Pos, Nl - Pos)));
+    Pos = Nl + 1;
+    if (Path.empty())
+      continue;
+    std::lock_guard<std::mutex> Lock(SwapMu);
+    SwapTasks.push_back(SwapTask{std::move(Path), nullptr});
+    SwapCv.notify_one();
+  }
+  FifoBuf.erase(0, Pos);
+}
+
+void SnapshotServer::swapLoop() {
+  while (true) {
+    SwapTask Task;
+    {
+      std::unique_lock<std::mutex> Lock(SwapMu);
+      SwapCv.wait(Lock, [this] { return SwapStop || !SwapTasks.empty(); });
+      if (SwapTasks.empty())
+        return; // SwapStop and nothing left to do
+      Task = std::move(SwapTasks.front());
+      SwapTasks.pop_front();
+    }
+    std::string Err;
+    bool Ok = Registry.swapFromFile(Task.Path, Err);
+    if (Ok)
+      Metrics.counter("net.swaps_total").set(Registry.swapCount());
+    else
+      Metrics.counter("net.swap_failures_total").inc();
+    if (Task.Replier) {
+      std::shared_ptr<const ServingSnapshot> Now = Registry.pin();
+      Response R;
+      R.Ok = Ok;
+      R.Digest = Now->digest();
+      R.Epoch = Now->epoch();
+      R.Text = Ok ? "swapped to epoch " + std::to_string(Now->epoch()) +
+                        " from " + Task.Path
+                  : Err;
+      respond(Task.Replier, R);
+      std::lock_guard<std::mutex> Lock(Task.Replier->Mu);
+      Task.Replier->AwaitingSwap = false;
+    }
+    wake();
+  }
+}

@@ -1,0 +1,231 @@
+//===-- net/SocketTraffic.cpp - Socket-mode traffic driver -------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/SocketTraffic.h"
+
+#include "net/Client.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace mahjong;
+using namespace mahjong::net;
+
+std::string SocketTrafficReport::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"queries\": " << Queries << ", \"failed\": " << Failed
+     << ", \"transport_errors\": " << TransportErrors
+     << ", \"connections\": " << Connections
+     << ", \"reconnects\": " << Reconnects << ", \"seconds\": " << Seconds
+     << ", \"qps\": " << QPS << ", \"p50_us\": " << P50Micros
+     << ", \"p95_us\": " << P95Micros << ", \"p99_us\": " << P99Micros
+     << ", \"epoch_min\": " << EpochMin << ", \"epoch_max\": " << EpochMax
+     << ", \"digests_seen\": " << DigestsSeen.size() << ", \"digests\": [";
+  for (size_t I = 0; I < DigestsSeen.size(); ++I) {
+    if (I)
+      OS << ", ";
+    char Hex[32];
+    std::snprintf(Hex, sizeof(Hex), "\"%016llx\"",
+                  static_cast<unsigned long long>(DigestsSeen[I]));
+    OS << Hex;
+  }
+  OS << "], \"kinds\": {";
+  bool First = true;
+  for (unsigned K = 0; K < serve::NumDataQueryKinds; ++K) {
+    const serve::TrafficReport::KindLatency &KL = Kinds[K];
+    if (KL.Count == 0)
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "\"" << serve::queryKindName(static_cast<serve::QueryKind>(K))
+       << "\": {\"count\": " << KL.Count << ", \"p50_us\": " << KL.P50Micros
+       << ", \"p95_us\": " << KL.P95Micros
+       << ", \"p99_us\": " << KL.P99Micros << "}";
+  }
+  OS << "}}";
+  return OS.str();
+}
+
+SocketTrafficReport mahjong::net::runSocketTraffic(
+    const serve::SnapshotData &KeyData, const serve::QueryWorkload &W,
+    const SocketTrafficOptions &Opts, std::ostream *Progress) {
+  using Clock = std::chrono::steady_clock;
+
+  obs::MetricsRegistry Metrics;
+  LogHistogram OverallNs;
+  LogHistogram PerKindNs[serve::NumDataQueryKinds];
+  std::atomic<uint64_t> Completed{0}, Failed{0}, TransportErrors{0};
+  std::atomic<uint64_t> Connections{0}, Reconnects{0};
+  std::atomic<uint32_t> EpochMin{~0u}, EpochMax{0};
+  std::mutex DigestMu;
+  std::set<uint64_t> Digests;
+
+  Clock::time_point Start = Clock::now();
+  Clock::time_point Deadline =
+      W.DurationSeconds > 0
+          ? Start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(W.DurationSeconds))
+          : Clock::time_point::max();
+
+  std::vector<std::thread> Clients;
+  Clients.reserve(W.Clients);
+  for (unsigned C = 0; C < W.Clients; ++C) {
+    Clients.emplace_back([&, C] {
+      // Phased ramp: client C joins C * ramp_seconds into the run, so
+      // load builds in steps instead of a thundering herd.
+      if (W.RampSeconds > 0 && C > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(C * W.RampSeconds));
+
+      // Per-connection latency histogram, named by client index. The
+      // registry hands back a stable reference; record() is atomic.
+      LogHistogram &ConnNs =
+          Metrics.histogram("client." + std::to_string(C) + ".request_ns");
+
+      serve::QueryGenerator Gen(KeyData, W, C);
+      Client Conn;
+      std::string Err;
+      if (!Conn.connect(Opts.Host, Opts.Port, Err)) {
+        TransportErrors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Connections.fetch_add(1, std::memory_order_relaxed);
+
+      std::set<uint64_t> LocalDigests;
+      uint32_t LocalMin = ~0u, LocalMax = 0;
+      for (uint64_t I = 0;; ++I) {
+        if (W.DurationSeconds > 0) {
+          if (Clock::now() >= Deadline)
+            break;
+        } else if (I >= W.QueriesPerClient) {
+          break;
+        }
+        // Connection churn: tear the socket down and dial again every
+        // churn_every queries, so accept/close paths stay hot too.
+        if (W.ChurnEvery > 0 && I > 0 && I % W.ChurnEvery == 0) {
+          Conn.close();
+          if (!Conn.connect(Opts.Host, Opts.Port, Err)) {
+            TransportErrors.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          Connections.fetch_add(1, std::memory_order_relaxed);
+          Reconnects.fetch_add(1, std::memory_order_relaxed);
+        }
+        serve::QueryKind Kind = serve::QueryKind::PointsTo;
+        std::string Text = Gen.next(&Kind);
+        Response R;
+        Clock::time_point T0 = Clock::now();
+        if (!Conn.query(Text, R, Err)) {
+          TransportErrors.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        Clock::time_point T1 = Clock::now();
+        uint64_t Ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                .count());
+        OverallNs.record(Ns);
+        PerKindNs[static_cast<unsigned>(Kind)].record(Ns);
+        ConnNs.record(Ns);
+        Completed.fetch_add(1, std::memory_order_relaxed);
+        Failed.fetch_add(!R.Ok, std::memory_order_relaxed);
+        LocalDigests.insert(R.Digest);
+        LocalMin = std::min(LocalMin, R.Epoch);
+        LocalMax = std::max(LocalMax, R.Epoch);
+      }
+      if (!LocalDigests.empty()) {
+        std::lock_guard<std::mutex> Lock(DigestMu);
+        Digests.insert(LocalDigests.begin(), LocalDigests.end());
+      }
+      uint32_t Seen;
+      Seen = EpochMin.load(std::memory_order_relaxed);
+      while (LocalMin < Seen &&
+             !EpochMin.compare_exchange_weak(Seen, LocalMin,
+                                             std::memory_order_relaxed))
+        ;
+      Seen = EpochMax.load(std::memory_order_relaxed);
+      while (LocalMax > Seen &&
+             !EpochMax.compare_exchange_weak(Seen, LocalMax,
+                                             std::memory_order_relaxed))
+        ;
+    });
+  }
+
+  std::mutex HeartbeatMu;
+  std::condition_variable HeartbeatCv;
+  bool Done = false;
+  std::thread Heartbeat;
+  if (Progress && W.HeartbeatSeconds > 0) {
+    Heartbeat = std::thread([&] {
+      auto Period = std::chrono::duration<double>(W.HeartbeatSeconds);
+      std::unique_lock<std::mutex> Lock(HeartbeatMu);
+      while (!HeartbeatCv.wait_for(Lock, Period, [&] { return Done; })) {
+        double T =
+            std::chrono::duration<double>(Clock::now() - Start).count();
+        uint64_t N = Completed.load(std::memory_order_relaxed);
+        std::ostringstream Line;
+        Line << "[serve-bench] t=" << T << "s queries=" << N
+             << " qps=" << (T > 0 ? N / T : 0) << "\n";
+        *Progress << Line.str() << std::flush;
+      }
+    });
+  }
+
+  for (std::thread &T : Clients)
+    T.join();
+  if (Heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(HeartbeatMu);
+      Done = true;
+    }
+    HeartbeatCv.notify_all();
+    Heartbeat.join();
+  }
+  double Seconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  Metrics.counter("socket.queries_total").set(Completed.load());
+  Metrics.counter("socket.failed_total").set(Failed.load());
+  Metrics.counter("socket.transport_errors_total")
+      .set(TransportErrors.load());
+  Metrics.counter("socket.connections_total").set(Connections.load());
+  Metrics.counter("socket.reconnects_total").set(Reconnects.load());
+
+  SocketTrafficReport Rep;
+  Rep.Queries = Completed.load(std::memory_order_relaxed);
+  Rep.Failed = Failed.load(std::memory_order_relaxed);
+  Rep.TransportErrors = TransportErrors.load(std::memory_order_relaxed);
+  Rep.Connections = Connections.load(std::memory_order_relaxed);
+  Rep.Reconnects = Reconnects.load(std::memory_order_relaxed);
+  Rep.Seconds = Seconds;
+  Rep.QPS = Seconds > 0 ? Rep.Queries / Seconds : 0;
+  Rep.P50Micros = OverallNs.percentile(0.50) / 1000.0;
+  Rep.P95Micros = OverallNs.percentile(0.95) / 1000.0;
+  Rep.P99Micros = OverallNs.percentile(0.99) / 1000.0;
+  for (unsigned K = 0; K < serve::NumDataQueryKinds; ++K) {
+    serve::TrafficReport::KindLatency &KL = Rep.Kinds[K];
+    KL.Count = PerKindNs[K].count();
+    if (KL.Count == 0)
+      continue;
+    KL.P50Micros = PerKindNs[K].percentile(0.50) / 1000.0;
+    KL.P95Micros = PerKindNs[K].percentile(0.95) / 1000.0;
+    KL.P99Micros = PerKindNs[K].percentile(0.99) / 1000.0;
+  }
+  Rep.DigestsSeen.assign(Digests.begin(), Digests.end());
+  uint32_t Min = EpochMin.load(std::memory_order_relaxed);
+  Rep.EpochMin = Min == ~0u ? 0 : Min;
+  Rep.EpochMax = EpochMax.load(std::memory_order_relaxed);
+  Rep.MetricsJson = Metrics.toJson();
+  return Rep;
+}

@@ -1,0 +1,75 @@
+//===-- net/SocketTraffic.h - Socket-mode traffic driver ------*- C++ -*-===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// serve-bench's `--connect` back end: replays a serve::QueryWorkload
+/// against a live SnapshotServer over real sockets instead of in-process
+/// engine calls. Each client thread owns one net::Client connection and
+/// runs a closed loop (generate, round-trip, record). The workload's
+/// churn_every / ramp_seconds knobs exercise connection churn and phased
+/// ramp-up; per-client latency histograms flow through an
+/// obs::MetricsRegistry whose JSON rides along in the report.
+///
+/// Query *keys* are generated from a locally loaded snapshot (the same
+/// .mjsnap the server started from), so the generated stream is
+/// identical to in-process mode — only the transport differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAHJONG_NET_SOCKETTRAFFIC_H
+#define MAHJONG_NET_SOCKETTRAFFIC_H
+
+#include "serve/Traffic.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mahjong::net {
+
+struct SocketTrafficOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+};
+
+/// What one socket-mode replay measured, on top of the usual latency
+/// aggregates: transport-level counters and the set of snapshot digests
+/// observed in responses (more than one means a hot swap landed
+/// mid-run — exactly what the swap-under-load tests assert on).
+struct SocketTrafficReport {
+  uint64_t Queries = 0;
+  uint64_t Failed = 0;          ///< server answered Ok == false
+  uint64_t TransportErrors = 0; ///< connect/send/recv failures
+  uint64_t Connections = 0;     ///< successful connects (incl. churn)
+  uint64_t Reconnects = 0;      ///< churn-driven reconnects only
+  double Seconds = 0;
+  double QPS = 0;
+  double P50Micros = 0;
+  double P95Micros = 0;
+  double P99Micros = 0;
+  serve::TrafficReport::KindLatency Kinds[serve::NumDataQueryKinds];
+  std::vector<uint64_t> DigestsSeen; ///< distinct, sorted
+  uint32_t EpochMin = 0, EpochMax = 0;
+  /// obs::MetricsRegistry::toJson() of the per-client histograms and
+  /// transport counters (for --metrics-out).
+  std::string MetricsJson;
+
+  /// One JSON object, stable key order, for scripts and CI assertions.
+  std::string toJson() const;
+};
+
+/// Replays \p W against the server at \p Opts. \p KeyData supplies the
+/// key pools for query generation. When \p Progress is non-null and
+/// W.HeartbeatSeconds > 0, heartbeat lines are printed while running.
+SocketTrafficReport runSocketTraffic(const serve::SnapshotData &KeyData,
+                                     const serve::QueryWorkload &W,
+                                     const SocketTrafficOptions &Opts,
+                                     std::ostream *Progress = nullptr);
+
+} // namespace mahjong::net
+
+#endif // MAHJONG_NET_SOCKETTRAFFIC_H

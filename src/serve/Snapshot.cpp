@@ -322,6 +322,14 @@ std::string mahjong::serve::encodeSnapshot(const SnapshotData &D,
   return Out;
 }
 
+uint64_t mahjong::serve::snapshotDigest(const SnapshotData &D) {
+  // Digesting the canonical current-version encoding makes the digest a
+  // function of the decoded content alone: a v1 file and its v2
+  // re-encoding digest identically, while any answer-visible difference
+  // (a set, an edge, a name) changes it.
+  return fnv1a64(encodeSnapshot(D, SnapshotVersion));
+}
+
 namespace {
 
 /// Reads a table's entry count, rejecting counts that cannot possibly fit

@@ -136,6 +136,13 @@ struct SnapshotData {
 /// Projects \p R into the snapshot model (no I/O).
 SnapshotData buildSnapshot(const pta::PTAResult &R);
 
+/// Content digest of a decoded snapshot: FNV-1a over its canonical
+/// (current-version) encoding, so two snapshots answer queries
+/// identically iff their digests match regardless of which wire version
+/// they were loaded from. The serving tier stamps every response with
+/// this value so clients can tell which published snapshot answered.
+uint64_t snapshotDigest(const SnapshotData &D);
+
 /// Serializes \p D into .mjsnap bytes (header + checksummed payload).
 /// \p Version selects the wire format ([SnapshotMinSupported,
 /// SnapshotVersion]); writing an older version exists for compatibility

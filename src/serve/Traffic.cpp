@@ -118,6 +118,14 @@ bool mahjong::serve::parseWorkloadSpec(std::string_view Text,
       if (!parseDouble(Value, F))
         return Fail("need a non-negative number");
       W.HeartbeatSeconds = F;
+    } else if (Key == "churn_every") {
+      if (!parseUnsigned(Value, U))
+        return Fail("need an integer");
+      W.ChurnEvery = U;
+    } else if (Key == "ramp_seconds") {
+      if (!parseDouble(Value, F))
+        return Fail("need a non-negative number");
+      W.RampSeconds = F;
     } else if (Key.rfind("weight_", 0) == 0) {
       if (!parseUnsigned(Value, U))
         return Fail("need an integer");

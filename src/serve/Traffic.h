@@ -53,6 +53,12 @@ struct QueryWorkload {
   /// When > 0 the driver emits a progress heartbeat line at this period
   /// (spec key: heartbeat_seconds). 0 disables it.
   double HeartbeatSeconds = 0;
+  /// Socket mode only: reconnect each client every this many queries
+  /// (connection churn). 0 = one connection per client for the run.
+  uint64_t ChurnEvery = 0;
+  /// Socket mode only: phased ramp — client C starts C * ramp_seconds
+  /// into the run. 0 = all clients start together.
+  double RampSeconds = 0;
   /// Relative frequencies of the query kinds.
   unsigned WeightPointsTo = 4;
   unsigned WeightAlias = 2;

@@ -1,0 +1,298 @@
+//===-- tests/net/ProtocolTest.cpp -------------------------------------------===//
+//
+// Part of mahjong-cpp. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Wire-protocol robustness, fuzz-shaped: the decoder must answer NeedMore
+// / Ok / Corrupt for *every* byte string — truncated frames, hostile
+// length prefixes (bounded before any allocation), bad magic, unknown
+// types — and the line-mode JSON parser must reject garbage with a
+// diagnostic instead of crashing. The deterministic mutation loops at the
+// bottom are the ASan leg's main course.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+using namespace mahjong;
+using namespace mahjong::net;
+
+namespace {
+
+std::string frameOf(MsgType T, std::string_view Payload) {
+  std::string Out;
+  appendFrame(Out, T, Payload);
+  return Out;
+}
+
+} // namespace
+
+TEST(Protocol, FrameRoundTripsEveryRequestType) {
+  for (MsgType T : {MsgType::Query, MsgType::Swap, MsgType::Ping,
+                    MsgType::RespOk, MsgType::RespError}) {
+    std::string Buf = frameOf(T, "payload bytes \x01\x02\xff");
+    Frame F;
+    size_t Consumed = 0;
+    std::string Err;
+    ASSERT_EQ(decodeFrame(Buf, Consumed, F, Err), DecodeStatus::Ok);
+    EXPECT_EQ(Consumed, Buf.size());
+    EXPECT_EQ(F.Type, T);
+    EXPECT_EQ(F.Payload, "payload bytes \x01\x02\xff");
+  }
+}
+
+TEST(Protocol, TruncationAlwaysAsksForMore) {
+  std::string Buf = frameOf(MsgType::Query, "points-to Main.main/0::x");
+  // Every proper prefix is an incomplete frame, never an error.
+  for (size_t N = 0; N < Buf.size(); ++N) {
+    Frame F;
+    size_t Consumed = 0;
+    std::string Err;
+    EXPECT_EQ(decodeFrame(std::string_view(Buf).substr(0, N), Consumed, F,
+                          Err),
+              DecodeStatus::NeedMore)
+        << "prefix length " << N;
+  }
+}
+
+TEST(Protocol, BadMagicIsCorrupt) {
+  std::string Buf = frameOf(MsgType::Query, "q");
+  Buf[0] = 0x7B; // '{' — the line-mode world, not a frame
+  Frame F;
+  size_t Consumed = 0;
+  std::string Err;
+  EXPECT_EQ(decodeFrame(Buf, Consumed, F, Err), DecodeStatus::Corrupt);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Protocol, UnknownTypeIsCorrupt) {
+  std::string Buf = frameOf(MsgType::Query, "q");
+  Buf[1] = 0x7f;
+  Frame F;
+  size_t Consumed = 0;
+  std::string Err;
+  EXPECT_EQ(decodeFrame(Buf, Consumed, F, Err), DecodeStatus::Corrupt);
+}
+
+TEST(Protocol, OversizedLengthIsCorruptBeforeAllocation) {
+  // Header claims 4 GiB; the decoder must refuse from the 6 header bytes
+  // alone — if it tried to allocate first, ASan (or bad_alloc) would
+  // scream here.
+  std::string Buf;
+  Buf.push_back(static_cast<char>(FrameMagic));
+  Buf.push_back(static_cast<char>(MsgType::Query));
+  for (int I = 0; I < 4; ++I)
+    Buf.push_back(static_cast<char>(0xFF));
+  Frame F;
+  size_t Consumed = 0;
+  std::string Err;
+  EXPECT_EQ(decodeFrame(Buf, Consumed, F, Err), DecodeStatus::Corrupt);
+  EXPECT_NE(Err.find("payload"), std::string::npos);
+}
+
+TEST(Protocol, MaxPayloadBoundaryIsExact) {
+  std::string Ok = frameOf(MsgType::Query, std::string(MaxFramePayload, 'a'));
+  Frame F;
+  size_t Consumed = 0;
+  std::string Err;
+  EXPECT_EQ(decodeFrame(Ok, Consumed, F, Err), DecodeStatus::Ok);
+  EXPECT_EQ(F.Payload.size(), MaxFramePayload);
+
+  // One past the bound: craft the header by hand (appendFrame asserts).
+  std::string Over;
+  Over.push_back(static_cast<char>(FrameMagic));
+  Over.push_back(static_cast<char>(MsgType::Query));
+  uint32_t N = MaxFramePayload + 1;
+  for (int I = 0; I < 4; ++I)
+    Over.push_back(static_cast<char>((N >> (8 * I)) & 0xFF));
+  EXPECT_EQ(decodeFrame(Over, Consumed, F, Err), DecodeStatus::Corrupt);
+}
+
+TEST(Protocol, PipelinedFramesDecodeInOrder) {
+  std::string Buf = frameOf(MsgType::Query, "first") +
+                    frameOf(MsgType::Ping, "") +
+                    frameOf(MsgType::Swap, "/tmp/x.mjsnap");
+  const char *Expect[] = {"first", "", "/tmp/x.mjsnap"};
+  size_t Pos = 0;
+  for (const char *Payload : Expect) {
+    Frame F;
+    size_t Consumed = 0;
+    std::string Err;
+    ASSERT_EQ(decodeFrame(std::string_view(Buf).substr(Pos), Consumed, F,
+                          Err),
+              DecodeStatus::Ok);
+    EXPECT_EQ(F.Payload, Payload);
+    Pos += Consumed;
+  }
+  EXPECT_EQ(Pos, Buf.size());
+}
+
+TEST(Protocol, ResponsePayloadRoundTrips) {
+  Response In;
+  In.Ok = true;
+  In.Digest = 0xDEADBEEFCAFEF00Dull;
+  In.Epoch = 42;
+  In.Text = "true";
+  std::string Payload = encodeResponsePayload(In);
+  Response Out;
+  ASSERT_TRUE(decodeResponsePayload(Payload, /*Ok=*/true, Out));
+  EXPECT_TRUE(Out.Ok);
+  EXPECT_EQ(Out.Digest, In.Digest);
+  EXPECT_EQ(Out.Epoch, 42u);
+  EXPECT_EQ(Out.Text, "true");
+
+  // Any truncation of the 12-byte prefix must fail cleanly.
+  for (size_t N = 0; N < 12; ++N)
+    EXPECT_FALSE(decodeResponsePayload(
+        std::string_view(Payload).substr(0, N), true, Out))
+        << "prefix length " << N;
+}
+
+TEST(Protocol, LineRequestAcceptsRawAndJson) {
+  std::string Q, Err;
+  ASSERT_TRUE(parseLineRequest("points-to A.m/0::x", Q, Err));
+  EXPECT_EQ(Q, "points-to A.m/0::x");
+  ASSERT_TRUE(parseLineRequest(R"({"q": "alias a b"})", Q, Err));
+  EXPECT_EQ(Q, "alias a b");
+  ASSERT_TRUE(parseLineRequest(R"({"query": "stats"})", Q, Err));
+  EXPECT_EQ(Q, "stats");
+  // Escapes, including \uXXXX, decode into the query text.
+  ASSERT_TRUE(parseLineRequest(R"({"q": "callers \u0041.m\/0"})", Q, Err));
+  EXPECT_EQ(Q, "callers A.m/0");
+}
+
+TEST(Protocol, GarbageJsonIsAnErrorNotACrash) {
+  std::string Q, Err;
+  const char *Garbage[] = {
+      "{",
+      "{}",
+      "{\"q\": }",
+      "{\"q\": \"unterminated",
+      "{\"q\": \"x\", }",
+      "{\"other\": \"x\"}",
+      "{\"q\": 42}",
+      "{\"q\": \"x\"} trailing",
+      "{\"q\": {\"nested\": \"x\"}}",
+      "{\"q\": [\"x\"]}",
+      "{\"q\": \"bad \\u12 escape\"}",
+      "{\"q\": \"lone surrogate \\ud800\"}",
+      "{\x80\xff\xfe binary junk",
+  };
+  for (const char *G : Garbage) {
+    EXPECT_FALSE(parseLineRequest(G, Q, Err)) << G;
+    EXPECT_FALSE(Err.empty()) << G;
+  }
+}
+
+TEST(Protocol, LineResponseRoundTrips) {
+  Response In;
+  In.Ok = false;
+  In.Digest = 0x0123456789ABCDEFull;
+  In.Epoch = 7;
+  In.Text = "unknown variable 'x\"y'\nsecond line";
+  std::string Line = renderLineResponse(In);
+  EXPECT_EQ(Line.find('\n'), std::string::npos)
+      << "rendered responses must be single lines";
+  Response Out;
+  std::string Err;
+  ASSERT_TRUE(parseLineResponse(Line, Out, Err)) << Err;
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_EQ(Out.Digest, In.Digest);
+  EXPECT_EQ(Out.Epoch, 7u);
+  EXPECT_EQ(Out.Text, In.Text);
+}
+
+TEST(Protocol, ParseHostPort) {
+  std::string Host, Err;
+  uint16_t Port = 0;
+  ASSERT_TRUE(parseHostPort("127.0.0.1:8080", Host, Port, Err));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 8080);
+  ASSERT_TRUE(parseHostPort(":0", Host, Port, Err));
+  EXPECT_EQ(Host, "127.0.0.1"); // empty host defaults to loopback
+  EXPECT_EQ(Port, 0);
+  EXPECT_FALSE(parseHostPort("127.0.0.1", Host, Port, Err));
+  EXPECT_FALSE(parseHostPort("127.0.0.1:", Host, Port, Err));
+  EXPECT_FALSE(parseHostPort("127.0.0.1:notaport", Host, Port, Err));
+  EXPECT_FALSE(parseHostPort("127.0.0.1:65536", Host, Port, Err));
+  EXPECT_FALSE(parseHostPort("127.0.0.1:-1", Host, Port, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic fuzz loops (the ASan leg's main course)
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolFuzz, RandomBytesNeverCrashTheFrameDecoder) {
+  uint64_t Rng = 0xF00DF00Du;
+  auto Next = [&Rng] { return Rng = splitmix64(Rng); };
+  for (int Round = 0; Round < 2000; ++Round) {
+    std::string Buf;
+    size_t Len = Next() % 64;
+    for (size_t I = 0; I < Len; ++I)
+      Buf.push_back(static_cast<char>(Next() & 0xFF));
+    // Drain the buffer the way the server does: decode, consume, repeat.
+    size_t Pos = 0, Guard = 0;
+    while (Pos < Buf.size() && Guard++ < 128) {
+      Frame F;
+      size_t Consumed = 0;
+      std::string Err;
+      DecodeStatus S =
+          decodeFrame(std::string_view(Buf).substr(Pos), Consumed, F, Err);
+      if (S == DecodeStatus::Ok) {
+        ASSERT_GT(Consumed, 0u);
+        Pos += Consumed;
+      } else {
+        break; // NeedMore or Corrupt both stop the drain
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, MutatedValidFramesNeverCrash) {
+  std::string Seed = frameOf(MsgType::Query, "points-to Main.main/0::x");
+  uint64_t Rng = 0xBEEFu;
+  auto Next = [&Rng] { return Rng = splitmix64(Rng); };
+  for (int Round = 0; Round < 2000; ++Round) {
+    std::string Buf = Seed;
+    // Flip 1-4 random bytes, sometimes truncate, sometimes append junk.
+    unsigned Flips = 1 + Next() % 4;
+    for (unsigned I = 0; I < Flips; ++I)
+      Buf[Next() % Buf.size()] =
+          static_cast<char>(Next() & 0xFF);
+    if (Next() % 3 == 0)
+      Buf.resize(Next() % (Buf.size() + 1));
+    if (Next() % 3 == 0)
+      Buf.push_back(static_cast<char>(Next() & 0xFF));
+    Frame F;
+    size_t Consumed = 0;
+    std::string Err;
+    DecodeStatus S = decodeFrame(Buf, Consumed, F, Err);
+    if (S == DecodeStatus::Ok) {
+      EXPECT_LE(Consumed, Buf.size());
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomLinesNeverCrashTheJsonParser) {
+  uint64_t Rng = 0xCAFEu;
+  auto Next = [&Rng] { return Rng = splitmix64(Rng); };
+  const char Alphabet[] = "{}[]\":\\,qrue aluestx0129\u00e9\n\t\x01\x80";
+  for (int Round = 0; Round < 4000; ++Round) {
+    std::string Line;
+    size_t Len = Next() % 48;
+    for (size_t I = 0; I < Len; ++I)
+      Line.push_back(Alphabet[Next() % (sizeof(Alphabet) - 1)]);
+    std::string Q, Err;
+    parseLineRequest(Line, Q, Err); // either verdict is fine; no crash
+    Response R;
+    parseLineResponse(Line, R, Err);
+  }
+}
