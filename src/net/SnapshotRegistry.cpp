@@ -47,8 +47,11 @@ uint32_t SnapshotRegistry::publish(
   uint32_t Epoch = NextEpoch++;
   auto Next = std::make_shared<const ServingSnapshot>(
       Epoch, std::move(Data), std::move(Source), CacheCapacity);
-  std::shared_ptr<const ServingSnapshot> Old =
-      Current.exchange(std::move(Next), std::memory_order_acq_rel);
+  std::shared_ptr<const ServingSnapshot> Old;
+  {
+    std::lock_guard<std::mutex> Swap(CurrentMutex);
+    Old = std::exchange(Current, std::move(Next));
+  }
   Retired.push_back(Old);
   Swaps.fetch_add(1, std::memory_order_relaxed);
   return Epoch;

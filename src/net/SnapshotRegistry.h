@@ -6,21 +6,21 @@
 ///
 /// \file
 /// The hot-swap core of the serving tier: a registry holding the one
-/// *current* serving snapshot and publishing replacements with a single
-/// atomic exchange while readers keep answering — RCU in shared_ptr
-/// clothing.
+/// *current* serving snapshot and publishing replacements with one
+/// pointer swap inside a tiny critical section while readers keep
+/// answering — RCU in shared_ptr clothing.
 ///
 /// The epoch-pinning invariant:
 ///
-///  - A reader calls pin() — one atomic shared_ptr load — and holds the
-///    returned handle for exactly one query. Everything the query needs
+///  - A reader calls pin() — a mutex-guarded shared_ptr copy — and holds
+///    the returned handle for exactly one query. Everything the query needs
 ///    (the decoded SnapshotData, the per-epoch QueryEngine and its
 ///    cache, the precomputed digest) hangs off that handle, so the
 ///    answer is consistent with exactly one published snapshot even
 ///    while a swap lands mid-query.
 ///  - swapFromFile() does all expensive work off the publish path: read
 ///    the .mjsnap bytes, decode + validate them, digest the content and
-///    build a fresh QueryEngine; only then does one atomic exchange make
+///    build a fresh QueryEngine; only then does one pointer swap make
 ///    the new epoch current. Failures leave the current epoch untouched.
 ///  - The displaced snapshot is *retired, not freed*: pinned readers
 ///    keep it alive until the last handle drops, when shared_ptr
@@ -80,13 +80,19 @@ public:
   SnapshotRegistry(const SnapshotRegistry &) = delete;
   SnapshotRegistry &operator=(const SnapshotRegistry &) = delete;
 
-  /// One atomic load; the handle keeps that epoch alive until released.
+  /// One brief critical section — a mutex-guarded shared_ptr copy; the
+  /// handle keeps that epoch alive until released. (Deliberately not
+  /// std::atomic<shared_ptr>: libstdc++ implements that as a spinlock
+  /// on the refcount word whose load() path unlocks relaxed, which
+  /// ThreadSanitizer reports as a formal data race. A plain mutex has
+  /// the same reader-serialization shape and is verifiable.)
   std::shared_ptr<const ServingSnapshot> pin() const {
-    return Current.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> Lock(CurrentMutex);
+    return Current;
   }
 
   /// Loads, decodes and validates \p Path (expensive — call off the
-  /// serving thread), then publishes it with one atomic exchange.
+  /// serving thread), then publishes it with one pointer swap.
   /// \returns false with a diagnostic in \p Err; the current epoch is
   /// untouched on failure.
   bool swapFromFile(const std::string &Path, std::string &Err);
@@ -106,7 +112,10 @@ public:
 
 private:
   size_t CacheCapacity;
-  std::atomic<std::shared_ptr<const ServingSnapshot>> Current;
+  /// The current epoch, guarded by CurrentMutex. Readers hold the lock
+  /// only for a shared_ptr copy; the publisher only for one swap.
+  mutable std::mutex CurrentMutex;
+  std::shared_ptr<const ServingSnapshot> Current;
 
   /// Serializes publishers (swaps are rare; readers never touch this).
   mutable std::mutex PublishMutex;

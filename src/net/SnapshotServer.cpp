@@ -196,7 +196,8 @@ void SnapshotServer::loop() {
     Fds.clear();
     Polled.clear();
     size_t ListenSlot = SIZE_MAX, WakeSlot, FifoSlot = SIZE_MAX;
-    if (ListenFd >= 0 && Conns.size() < Config.MaxConns) {
+    if (ListenFd >= 0 && Conns.size() < Config.MaxConns &&
+        Clock::now() >= AcceptBackoffUntil) {
       ListenSlot = Fds.size();
       Fds.push_back({ListenFd, POLLIN, 0});
     }
@@ -220,14 +221,24 @@ void SnapshotServer::loop() {
         QueueRoom = C->Queue.size() < Config.MaxInflight;
         HasOut = !C->Outbox.empty();
       }
-      if (Dead || (Draining && !Busy && !HasOut)) {
+      // A draining connection is done only when nothing parsed, queued,
+      // buffered, *or still parked in RdBuf* remains — a half-closed
+      // peer's pipelined backlog beyond MaxInflight lives in RdBuf.
+      if (Dead || (Draining && !Busy && !HasOut && C->RdBuf.empty())) {
         ToClose.push_back(Id);
         continue;
       }
       // Bytes may be parked in RdBuf from a pass when the queue was
-      // full; parse them now that there is room again.
-      if (QueueRoom && !Draining && !C->RdBuf.empty()) {
+      // full; parse them now that there is room again. Draining only
+      // stops socket *reads*, never the parsing of what already arrived.
+      if (QueueRoom && !C->RdBuf.empty()) {
+        size_t Before = C->RdBuf.size();
         parseBuffered(C);
+        // The peer's write side is closed, so a residue that did not
+        // shrink is a truncated frame or unterminated line that can
+        // never complete; drop it so the drain can finish.
+        if (Draining && C->RdBuf.size() == Before)
+          C->RdBuf.clear();
         std::lock_guard<std::mutex> Lock(C->Mu);
         QueueRoom = C->Queue.size() < Config.MaxInflight;
         Busy = C->Running || C->AwaitingSwap || !C->Queue.empty();
@@ -319,8 +330,16 @@ void SnapshotServer::acceptReady() {
   while (Conns.size() < Config.MaxConns) {
     int Fd = accept4(ListenFd, nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (Fd < 0)
-      return; // EAGAIN or a transient error; poll again
+    if (Fd < 0) {
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM)
+        // Resource exhaustion does not consume the pending connection,
+        // so the listen fd stays readable and re-polling it would spin.
+        // Park the listener briefly; the loop re-arms it after this.
+        AcceptBackoffUntil = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(100);
+      return; // otherwise EAGAIN or a transient error; poll again
+    }
     int One = 1;
     setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
     auto C = std::make_shared<Conn>();
@@ -391,9 +410,9 @@ void SnapshotServer::parseBuffered(const std::shared_ptr<Conn> &C) {
     std::lock_guard<std::mutex> Lock(C->Mu);
     return C->Queue.size() >= Config.MaxInflight;
   };
-  auto Enqueue = [&](MsgType T, std::string Text) {
+  auto Enqueue = [&](MsgType T, std::string Text, bool ParseError = false) {
     std::lock_guard<std::mutex> Lock(C->Mu);
-    C->Queue.push_back(PendingReq{T, std::move(Text), Start});
+    C->Queue.push_back(PendingReq{T, std::move(Text), Start, ParseError});
   };
 
   if (C->Mode == Conn::IoMode::Binary) {
@@ -439,10 +458,9 @@ void SnapshotServer::parseBuffered(const std::shared_ptr<Conn> &C) {
       if (!parseLineRequest(Line, Text, Err)) {
         // Garbage JSON gets an error *line*, not a disconnect — this is
         // the debugging surface, and a typo should not cost the session.
+        // The error queues like any request so it answers in order.
         Metrics.counter("net.protocol_errors_total").inc();
-        Response R;
-        R.Text = Err;
-        respond(C, R);
+        Enqueue(MsgType::Query, std::move(Err), /*ParseError=*/true);
         continue;
       }
       std::string_view T = trimText(Text);
@@ -513,6 +531,13 @@ void SnapshotServer::drainQueue(const std::shared_ptr<Conn> &C) {
 }
 
 Response SnapshotServer::execute(const PendingReq &Req) {
+  if (Req.ParseError) {
+    // Answered like any queued request, but the snapshot never saw it:
+    // Ok stays false and there is no digest/epoch stamp.
+    Response R;
+    R.Text = Req.Text;
+    return R;
+  }
   std::shared_ptr<const ServingSnapshot> Snap = Registry.pin();
   Response R;
   R.Digest = Snap->digest();
@@ -586,11 +611,12 @@ void SnapshotServer::respond(const std::shared_ptr<Conn> &C,
 void SnapshotServer::failProtocol(const std::shared_ptr<Conn> &C,
                                   const std::string &Why) {
   Metrics.counter("net.protocol_errors_total").inc();
-  Response R;
-  R.Text = Why;
-  respond(C, R);
+  // The error rides the request queue behind anything already parsed,
+  // so it answers in FIFO position rather than jumping ahead of
+  // earlier, still-unanswered requests.
   std::lock_guard<std::mutex> Lock(C->Mu);
-  C->Draining = true; // flush the error, then close
+  C->Queue.push_back(PendingReq{MsgType::Query, Why, nowNs(), true});
+  C->Draining = true; // answer everything parsed, then close
 }
 
 void SnapshotServer::writable(const std::shared_ptr<Conn> &C) {

@@ -46,6 +46,7 @@
 #include "support/ThreadPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -109,8 +110,12 @@ public:
 private:
   struct PendingReq {
     MsgType Type;
-    std::string Text; ///< query text or swap path
+    std::string Text; ///< query text, swap path, or a parse diagnostic
     uint64_t StartNs; ///< steady-clock stamp at parse time
+    /// Text is a protocol diagnostic, answered as an error *in queue
+    /// order* — clients correlate responses by position, so even a
+    /// malformed request's answer must not jump ahead of earlier ones.
+    bool ParseError = false;
   };
 
   /// One connection's state. The event loop owns Fd / RdBuf / Mode;
@@ -166,6 +171,10 @@ private:
 
   std::map<uint64_t, std::shared_ptr<Conn>> Conns; ///< loop thread only
   uint64_t NextConnId = 1;
+  /// While in the future, the listener is not polled: after accept4
+  /// fails with EMFILE/ENFILE the fd stays readable until the backlog
+  /// drains, and polling it would spin the loop at 100% CPU.
+  std::chrono::steady_clock::time_point AcceptBackoffUntil{};
 
   std::atomic<bool> Stopping{false};
   std::thread LoopThread;

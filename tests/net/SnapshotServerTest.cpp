@@ -317,6 +317,55 @@ TEST(SnapshotServer, PipelinedHalfCloseDrainsEveryRequest) {
   EXPECT_TRUE(C.atEof());
 }
 
+TEST(SnapshotServer, HalfCloseDrainsPipeliningBeyondTheInflightBound) {
+  // The backlog past MaxInflight parks in the server's read buffer;
+  // after a half-close it must still be parsed and answered — draining
+  // stops socket reads, not the parsing of what already arrived.
+  ServerConfig Cfg;
+  Cfg.MaxInflight = 8;
+  LiveServer S(Cfg);
+  ASSERT_TRUE(S.Started);
+  RawConn C(S.Server.port());
+  ASSERT_TRUE(C.ok());
+
+  std::string Batch;
+  for (int I = 0; I < 100; ++I)
+    appendFrame(Batch, MsgType::Query, "points-to Main.main/0::x");
+  // Trailing truncated header: the peer dies mid-frame. It can never
+  // complete, so the drain must discard it rather than hang the close.
+  Batch.push_back(static_cast<char>(FrameMagic));
+  Batch.push_back(static_cast<char>(MsgType::Query));
+  C.sendAll(Batch);
+  C.shutdownWrite();
+  for (int I = 0; I < 100; ++I) {
+    Frame F = C.readFrame();
+    EXPECT_EQ(F.Type, MsgType::RespOk) << "response " << I;
+  }
+  EXPECT_TRUE(C.atEof());
+}
+
+TEST(SnapshotServer, LineErrorsAnswerInRequestOrder) {
+  // Clients correlate responses by position; a malformed line's error
+  // must answer in its queue slot, not jump ahead of earlier requests.
+  LiveServer S;
+  ASSERT_TRUE(S.Started);
+  RawConn C(S.Server.port());
+  ASSERT_TRUE(C.ok());
+
+  C.sendAll("points-to Main.main/0::x\n"
+            "{\"q\": broken\n"
+            "points-to Main.main/0::x\n");
+  Response R;
+  std::string Err;
+  ASSERT_TRUE(parseLineResponse(C.readLine(), R, Err)) << Err;
+  EXPECT_TRUE(R.Ok) << "first valid query answers first";
+  ASSERT_TRUE(parseLineResponse(C.readLine(), R, Err)) << Err;
+  EXPECT_FALSE(R.Ok) << "the parse error answers second, in its slot";
+  EXPECT_NE(R.Text.find("JSON"), std::string::npos);
+  ASSERT_TRUE(parseLineResponse(C.readLine(), R, Err)) << Err;
+  EXPECT_TRUE(R.Ok) << "the session continues past the error";
+}
+
 TEST(SnapshotServer, WorkerPoolModePreservesPerConnectionOrder) {
   ServerConfig Cfg;
   Cfg.Workers = 2;
